@@ -1,0 +1,110 @@
+"""A1–A4: ablations from DESIGN.md's experiment index."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.baselines.rfb import rfb_unsafe
+from repro.core.labelling import label_grid
+from repro.experiments.exp_region_overhead import run_region_overhead
+from repro.experiments.workloads import random_fault_mask
+from repro.mesh.coords import manhattan
+from repro.routing.engine import AdaptiveRouter
+from repro.routing.policies import make_policy
+from repro.util.records import ResultTable
+from repro.util.rng import spawn_rngs
+
+
+def test_a1_rfb_variants(benchmark):
+    """Block expansion vs local-closure-only RFB regions."""
+    table = ResultTable("A1 RFB variants — 12^3 mesh, 10 trials")
+    rngs = spawn_rngs(11, 3)
+    for count, rng in zip([10, 40, 90], rngs):
+        local_total = block_total = 0
+        for _ in range(10):
+            mask = random_fault_mask((12, 12, 12), count, rng=rng)
+            local_total += int(rfb_unsafe(mask, variant="local").sum() - count)
+            block_total += int(rfb_unsafe(mask, variant="block").sum() - count)
+        table.add(
+            faults=count,
+            local_nonfaulty=local_total / 10,
+            block_nonfaulty=block_total / 10,
+        )
+    emit(table)
+    for row in table.rows:
+        assert row["local_nonfaulty"] <= row["block_nonfaulty"]
+    mask = random_fault_mask((12, 12, 12), 40, rng=5)
+    benchmark(rfb_unsafe, mask)
+
+
+def test_a2_policies(benchmark):
+    """Adaptive selector policies: all minimal, different path shapes."""
+    table = ResultTable("A2 selector policies — 10^3 mesh, 5% faults")
+    rng = np.random.default_rng(23)
+    mask = random_fault_mask((10, 10, 10), 50, rng=rng)
+    lab = label_grid(mask)
+    pairs = []
+    safe = np.argwhere(lab.safe_mask)
+    while len(pairs) < 40:
+        i, j = rng.integers(0, safe.shape[0], 2)
+        s = tuple(int(c) for c in np.minimum(safe[i], safe[j]))
+        d = tuple(int(c) for c in np.maximum(safe[i], safe[j]))
+        if lab.safe_mask[s] and lab.safe_mask[d] and s != d:
+            pairs.append((s, d))
+    for name in ("fixed", "diagonal", "random"):
+        router = AdaptiveRouter(mask, mode="mcc", policy=make_policy(name, 3))
+        delivered = minimal = 0
+        distinct_first_hops = set()
+        for s, d in pairs:
+            result = router.route(s, d)
+            if result.delivered:
+                delivered += 1
+                minimal += result.hops == manhattan(s, d)
+                if len(result.path) > 1:
+                    distinct_first_hops.add((s, result.path[1]))
+        table.add(
+            policy=name,
+            delivered=delivered,
+            minimal=minimal,
+            distinct_first_hops=len(distinct_first_hops),
+        )
+    emit(table)
+    rows = {r["policy"]: r for r in table.rows}
+    assert rows["fixed"]["delivered"] == rows["random"]["delivered"]
+    for row in table.rows:
+        assert row["minimal"] == row["delivered"]
+    router = AdaptiveRouter(mask, mode="mcc")
+    benchmark(router.route, (0, 0, 0), (9, 9, 9))
+
+
+def test_a3_clustering(benchmark):
+    """Clustered faults: fewer, larger regions; overhead gap persists."""
+    uniform = run_region_overhead((12, 12, 12), [60], trials=10, seed=31)
+    clustered = run_region_overhead(
+        (12, 12, 12), [60], trials=10, seed=31, clustered=True
+    )
+    table = ResultTable("A3 fault clustering — 12^3 mesh, 60 faults")
+    table.add(workload="uniform", **{k: v for k, v in uniform.rows[0].items()})
+    table.add(workload="clustered", **{k: v for k, v in clustered.rows[0].items()})
+    emit(table)
+    for row in table.rows:
+        assert row["mcc_nonfaulty"] <= row["rfb_nonfaulty"] + 1e-9
+    mask = random_fault_mask((12, 12, 12), 60, rng=33)
+    benchmark(label_grid, mask)
+
+
+def test_a4_4d_extension(benchmark):
+    """The paper's future work: higher-dimension meshes (4-D labelling)."""
+    table = ResultTable("A4 4-D extension — 7^4 mesh")
+    rngs = spawn_rngs(41, 2)
+    for count, rng in zip([24, 120], rngs):
+        mcc_total = 0
+        for _ in range(5):
+            mask = random_fault_mask((7, 7, 7, 7), count, rng=rng)
+            lab = label_grid(mask)
+            mcc_total += int(lab.unsafe_mask.sum() - count)
+        table.add(faults=count, mcc_nonfaulty=mcc_total / 5)
+    emit(table)
+    # 4-D labelling needs 4 blocked neighbors: fills are rarer than 3-D.
+    assert table.rows[0]["mcc_nonfaulty"] < 5
+    mask = random_fault_mask((7, 7, 7, 7), 120, rng=43)
+    benchmark(label_grid, mask)

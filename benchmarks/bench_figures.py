@@ -1,0 +1,44 @@
+"""F1–F8: regenerate the paper's illustrative figures (ASCII form)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import figures
+from repro.mesh.regions import mask_of_cells
+from repro.core.labelling import label_grid
+
+
+def test_fig1(benchmark):
+    text = figures.figure1()
+    emit(text)
+    assert "MCC" in text and "rectangular" in text
+    benchmark(figures.figure1)
+
+
+def test_fig5(benchmark):
+    text = figures.figure5()
+    emit(text)
+    assert "MCC count (paper grouping): 2" in text
+    benchmark(figures.figure5)
+
+
+def test_fig3_walls(benchmark):
+    text = figures.figure3_walls()
+    emit(text)
+    assert "merged chains" in text
+    benchmark(figures.figure3_walls)
+
+
+def test_fig4_fig7(benchmark):
+    text2 = figures.figure4_7_detection(three_d=False)
+    text3 = figures.figure4_7_detection(three_d=True)
+    emit(text2)
+    emit(text3)
+    assert "feasible=False" in text2  # the NO case
+    assert "feasible=True" in text3
+    benchmark(figures.figure4_7_detection, three_d=True)
+
+
+def test_fig8(benchmark):
+    text = figures.figure8_routing()
+    emit(text)
+    assert "delivered=True" in text
+    benchmark(figures.figure8_routing)

@@ -1,0 +1,53 @@
+"""K: micro-benchmarks of the core kernels (HPC-guide driven).
+
+Tracks the vectorized hot paths: labelling fixed point, monotone-flood
+DP, component extraction, wall construction, and the full per-class
+model build the router amortizes per direction class.
+"""
+
+import numpy as np
+
+from repro.core.components import extract_mccs
+from repro.core.labelling import label_grid
+from repro.core.walls import build_walls
+from repro.experiments.workloads import random_fault_mask
+from repro.routing.oracle import monotone_flood, reverse_reachable
+
+
+def test_kernel_labelling_2d_64(benchmark):
+    mask = random_fault_mask((64, 64), 200, rng=1)
+    result = benchmark(label_grid, mask)
+    assert result.unsafe_mask.sum() >= 200
+
+
+def test_kernel_labelling_3d_20(benchmark):
+    mask = random_fault_mask((20, 20, 20), 400, rng=1)
+    result = benchmark(label_grid, mask)
+    assert result.unsafe_mask.sum() >= 400
+
+
+def test_kernel_oracle_flood_3d(benchmark):
+    mask = random_fault_mask((20, 20, 20), 400, rng=2)
+    seeds = np.zeros((20, 20, 20), dtype=bool)
+    seeds[0, 0, 0] = True
+    out = benchmark(monotone_flood, ~mask, seeds)
+    assert out[0, 0, 0]
+
+
+def test_kernel_reverse_reachable_3d(benchmark):
+    mask = random_fault_mask((20, 20, 20), 400, rng=3)
+    out = benchmark(reverse_reachable, ~mask, (19, 19, 19))
+    assert out[19, 19, 19]
+
+
+def test_kernel_components_3d(benchmark):
+    lab = label_grid(random_fault_mask((20, 20, 20), 400, rng=4))
+    mccs = benchmark(extract_mccs, lab)
+    assert len(mccs) > 0
+
+
+def test_kernel_walls_3d(benchmark):
+    lab = label_grid(random_fault_mask((12, 12, 12), 80, rng=5))
+    mccs = extract_mccs(lab)
+    walls = benchmark(build_walls, mccs)
+    assert len(walls) == len(mccs) * 3

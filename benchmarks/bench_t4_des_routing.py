@@ -1,0 +1,30 @@
+"""T4: end-to-end routing on the discrete-event network.
+
+Expected shape: delivery agrees with the oracle, every delivered path
+is minimal, and per-query message cost is a few times the path length
+(detection plus forwarding plus acknowledgements).
+"""
+
+from benchmarks.conftest import emit
+from repro.distributed.pipeline import DistributedMCCPipeline
+from repro.experiments.exp_des_routing import run_des_routing
+from repro.experiments.workloads import random_fault_mask
+from repro.mesh.topology import Mesh3D
+
+
+def test_t4_des_routing(benchmark):
+    table = run_des_routing(
+        (8, 8, 8), [4, 12, 25], queries=20, trials=2, seed=2005
+    )
+    emit(table)
+    for row in table.rows:
+        assert row["agreement"] >= 0.95
+        assert row["minimal_of_delivered"] >= 0.999
+
+    mask = random_fault_mask((8, 8, 8), 12, rng=13)
+    pipe = DistributedMCCPipeline(Mesh3D(8), mask).build()
+
+    def route_once():
+        pipe.route((0, 0, 0), (7, 7, 7))
+
+    benchmark.pedantic(route_once, rounds=3, iterations=1)

@@ -1,0 +1,37 @@
+"""T5: fidelity of conditions, detection, and router vs the oracle.
+
+Expected shape: 100% agreement for the canonical (reachability-form)
+condition and the detection walks; 100% router completeness and
+exclusion exactness (properties P2/P3).
+"""
+
+from benchmarks.conftest import emit
+from repro.core.conditions import ConditionEvaluator
+from repro.experiments.exp_fidelity import run_fidelity
+from repro.experiments.workloads import random_fault_mask
+
+
+def test_t5_fidelity_2d(benchmark):
+    table = run_fidelity((12, 12), [6, 14], pairs=40, trials=4, seed=2005)
+    emit(table)
+    for row in table.rows:
+        assert row["cond_agree"] >= 0.999
+        assert row["detect_agree"] >= 0.999
+        assert row["router_complete"] >= 0.999
+
+    mask = random_fault_mask((12, 12), 10, rng=17)
+    evaluator = ConditionEvaluator(mask)
+    benchmark(evaluator.exists, (0, 0), (11, 11))
+
+
+def test_t5_fidelity_3d(benchmark):
+    table = run_fidelity((8, 8, 8), [8, 25], pairs=30, trials=3, seed=2005)
+    emit(table)
+    for row in table.rows:
+        assert row["cond_agree"] >= 0.999
+        assert row["detect_agree"] >= 0.98  # walk form; see EXPERIMENTS.md
+        assert row["router_complete"] >= 0.999
+
+    mask = random_fault_mask((8, 8, 8), 20, rng=17)
+    evaluator = ConditionEvaluator(mask)
+    benchmark(evaluator.exists, (0, 0, 0), (7, 7, 7))

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Fault-resilience study: how far does minimal routing degrade?
+
+Sweeps the fault rate in a 3-D mesh and reports, per model, the
+fraction of random safe pairs that still admit a minimal path — a
+compact version of the paper's evaluation (experiment T2), including
+the clustered-fault variant that models correlated hardware failures.
+"""
+
+from repro.experiments.exp_region_overhead import run_region_overhead
+from repro.experiments.exp_success_rate import run_success_rate
+
+
+def main() -> None:
+    shape = (12, 12, 12)
+    counts = [8, 17, 43, 86, 130]  # ~0.5% to 7.5%
+
+    print("Minimal-routing success rate (uniform faults):")
+    table = run_success_rate(shape, counts, pairs=120, trials=4, seed=42)
+    print(table.render())
+    print()
+
+    print("Non-faulty nodes captured per fault region model:")
+    overhead = run_region_overhead(shape, counts, trials=10, seed=42)
+    print(overhead.render())
+    print()
+
+    print("Same, with clustered faults (correlated failures):")
+    clustered = run_region_overhead(
+        shape, counts[:3], trials=10, seed=42, clustered=True
+    )
+    print(clustered.render())
+
+    last = table.rows[-1]
+    print(
+        f"\nAt {last['fault_rate']:.1%} faults: the MCC model still routes "
+        f"{last['mcc']:.0%} of pairs minimally (the theoretical optimum — "
+        f"it equals the oracle), the rectangular-block model only "
+        f"{last['rfb']:.0%}, and dimension-order e-cube {last['ecube']:.0%}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro — the MCC fault information model for minimal routing in meshes.
+
+Reproduction of Jiang, Wu & Wang, "A New Fault Information Model for
+Fault-Tolerant Adaptive and Minimal Routing in 3-D Meshes" (ICPP 2005).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Mesh3D, label_grid, extract_mccs, AdaptiveRouter
+
+    faults = np.zeros((10, 10, 10), dtype=bool)
+    faults[5, 5, 5] = True
+    router = AdaptiveRouter(faults, mode="mcc")
+    result = router.route((0, 0, 0), (9, 9, 9))
+    assert result.delivered and result.is_minimal()
+
+Layers:
+
+* ``repro.mesh`` — topology, direction classes, regions, fault sets;
+* ``repro.core`` — labelling, MCC extraction, shadows, walls,
+  existence conditions, detection (the paper's model, centralized);
+* ``repro.routing`` — the oracle and the adaptive routing engine;
+* ``repro.baselines`` — rectangular faulty blocks, e-cube, greedy;
+* ``repro.simkit`` / ``repro.distributed`` — the message-passing
+  realization of the whole pipeline on a discrete-event network;
+* ``repro.experiments`` — the evaluation (tables T1–T5, figures).
+"""
+
+from repro.mesh import Box, Direction, FaultSet, Mesh, Mesh2D, Mesh3D, Orientation
+from repro.core.labelling import (
+    CANT_REACH,
+    FAULTY,
+    SAFE,
+    USELESS,
+    LabelledGrid,
+    label_grid,
+    label_mesh,
+    unsafe_mask,
+)
+from repro.core.components import MCC, MCCSet, extract_mccs
+from repro.core.shadows import shadow_masks
+from repro.core.walls import Wall, build_walls
+from repro.core.conditions import (
+    ConditionEvaluator,
+    minimal_path_exists_lemma1,
+    minimal_path_exists_theorem,
+)
+from repro.core.detection import detect_canonical, detection_feasible
+from repro.routing.oracle import (
+    forward_reachable,
+    minimal_path_exists,
+    reverse_reachable,
+)
+from repro.routing.engine import AdaptiveRouter, RouteResult, route_adaptive
+from repro.routing.policies import (
+    DiagonalPolicy,
+    FixedOrderPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.baselines import ecube_path, ecube_succeeds, greedy_route, rfb_blocks, rfb_unsafe
+from repro.simkit import MeshNetwork, Simulator
+from repro.distributed import DistributedMCCPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box",
+    "Direction",
+    "FaultSet",
+    "Mesh",
+    "Mesh2D",
+    "Mesh3D",
+    "Orientation",
+    "SAFE",
+    "FAULTY",
+    "USELESS",
+    "CANT_REACH",
+    "LabelledGrid",
+    "label_grid",
+    "label_mesh",
+    "unsafe_mask",
+    "MCC",
+    "MCCSet",
+    "extract_mccs",
+    "shadow_masks",
+    "Wall",
+    "build_walls",
+    "ConditionEvaluator",
+    "minimal_path_exists_lemma1",
+    "minimal_path_exists_theorem",
+    "detect_canonical",
+    "detection_feasible",
+    "forward_reachable",
+    "reverse_reachable",
+    "minimal_path_exists",
+    "AdaptiveRouter",
+    "RouteResult",
+    "route_adaptive",
+    "FixedOrderPolicy",
+    "RandomPolicy",
+    "DiagonalPolicy",
+    "make_policy",
+    "ecube_path",
+    "ecube_succeeds",
+    "greedy_route",
+    "rfb_blocks",
+    "rfb_unsafe",
+    "MeshNetwork",
+    "Simulator",
+    "DistributedMCCPipeline",
+    "__version__",
+]

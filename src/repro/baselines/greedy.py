@@ -1,0 +1,58 @@
+"""Blind adaptive minimal routing: local faulty-neighbor knowledge only.
+
+At every hop the router takes any preferred (distance-reducing)
+direction whose neighbor is non-faulty.  Without a fault-information
+model it can walk into dead ends the MCC labelling would have flagged,
+failing even when a minimal path exists — quantifying the value of the
+paper's limited-global-information model (experiment T2/A2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.mesh.coords import Coord
+
+
+def greedy_route(
+    fault_mask: np.ndarray,
+    source: Sequence[int],
+    dest: Sequence[int],
+    choose: Callable[[list[int], tuple[int, ...], tuple[int, ...]], int] | None = None,
+) -> tuple[bool, list[Coord]]:
+    """Route minimally with no fault model; returns (delivered, path).
+
+    ``choose(axes, pos, dest)`` picks among candidate axes (defaults to
+    the lowest axis).  The walk is minimal by construction: every hop
+    moves toward ``dest``; it fails where all preferred neighbors are
+    faulty.
+    """
+    fault_mask = np.asarray(fault_mask, dtype=bool)
+    pos = tuple(int(c) for c in source)
+    dest = tuple(int(c) for c in dest)
+    if fault_mask[pos] or fault_mask[dest]:
+        raise ValueError("greedy routing requires non-faulty endpoints")
+    path = [pos]
+    while pos != dest:
+        candidates = []
+        for axis in range(len(pos)):
+            if pos[axis] == dest[axis]:
+                continue
+            sign = 1 if dest[axis] > pos[axis] else -1
+            nxt = list(pos)
+            nxt[axis] += sign
+            if not fault_mask[tuple(nxt)]:
+                candidates.append(axis)
+        if not candidates:
+            return False, path
+        axis = choose(candidates, pos, dest) if choose else candidates[0]
+        if axis not in candidates:
+            raise ValueError(f"choose() returned non-candidate axis {axis}")
+        sign = 1 if dest[axis] > pos[axis] else -1
+        nxt = list(pos)
+        nxt[axis] += sign
+        pos = tuple(nxt)
+        path.append(pos)
+    return True, path

@@ -1,0 +1,171 @@
+"""Existence conditions for minimal paths (Lemma 1, Theorems 1 and 2).
+
+All predicates operate in the canonical frame: source component-wise <=
+destination.  Use :class:`repro.mesh.orientation.Orientation` to map an
+arbitrary pair into this frame first.
+
+``minimal_path_exists_lemma1`` is the merged-region form of the paper's
+Lemma 1: a routing has no minimal path iff some MCC ``M`` and dimension
+``dim`` satisfy ``s ∈ Q_dim(M)-merged`` and ``d ∈ Q'_dim(M)``.  The
+chain-merged ``Q`` is precisely what the boundary construction
+distributes, so this predicate is also Theorem 1/Theorem 2 in region
+form: "the boundary does not intersect the escape segment/surface of the
+RMP" is equivalent to "the source is trapped inside the merged forbidden
+region" (the wall, walked from the MCC toward the mesh floor, separates
+the two cases).  The test suite verifies the predicate against the
+oracle exhaustively on small meshes and by Monte Carlo on larger ones
+(property P2), and against the literal walk-based detection of
+:mod:`repro.core.detection`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.components import MCCSet, extract_mccs
+from repro.core.labelling import LabelledGrid, label_grid
+from repro.core.walls import Wall, build_walls
+from repro.mesh.orientation import Orientation
+
+
+def lemma1_region_form(
+    walls: list[Wall], source: Sequence[int], dest: Sequence[int]
+) -> bool:
+    """The literal membership form: no wall with s ∈ Q and d ∈ Q'.
+
+    Exact in 2-D (property-tested); in 3-D it is necessary but not quite
+    sufficient — *stacked shadows* (one MCC's shadow abutting another's
+    along the third axis) can trap a source without any single merged
+    wall containing it.  The boundary-information form below (what the
+    routing actually evaluates) covers those; this form is retained for
+    the fidelity ablation.
+    """
+    s = tuple(int(c) for c in source)
+    d = tuple(int(c) for c in dest)
+    for wall in walls:
+        if wall.critical[d] and wall.forbidden[s]:
+            return False
+    return True
+
+
+def minimal_path_exists_lemma1(
+    walls: list[Wall],
+    source: Sequence[int],
+    dest: Sequence[int],
+    labelled: LabelledGrid,
+) -> bool:
+    """Theorem 1/2 in boundary-information form.
+
+    A minimal path exists iff a monotone path from ``source`` to
+    ``dest`` exists through nodes that the distributed information
+    permits: safe nodes outside every *active* merged forbidden region
+    (walls whose critical region contains the destination) —
+    Algorithm 3 step 2 evaluated as reachability.  The test suite
+    verifies this agrees with the oracle exactly (property P2).
+
+    ``source`` and ``dest`` are canonical-frame coordinates and must be
+    safe nodes (the paper's standing assumption); ``labelled`` supplies
+    the direction class's node labels and is used for that check.
+
+    The evaluation is monotone reachability over the MCC-safe nodes —
+    the exact content of the theorem ("if there exists no minimal
+    routing under the MCC model, there will be absolutely no minimal
+    routing", Section 3), equal to the oracle by property P1.  The
+    ``walls`` argument is retained for the region-membership form
+    (:func:`lemma1_region_form`) and witness extraction
+    (:func:`blocking_walls`); our 3-D property tests found rare
+    configurations (stacked shadows, multi-guard-axis escapes) where
+    pure region membership is inexact, so reachability is the canonical
+    evaluation — see EXPERIMENTS.md for the measured agreement rates.
+    """
+    s = tuple(int(c) for c in source)
+    d = tuple(int(c) for c in dest)
+    if any(a > b for a, b in zip(s, d)):
+        raise ValueError(f"not in canonical frame: source {s} !<= dest {d}")
+    if labelled.status[s] != 0 or labelled.status[d] != 0:
+        raise ValueError(
+            "Lemma 1 requires safe endpoints: "
+            f"source status {labelled.status[s]}, dest status {labelled.status[d]}"
+        )
+    from repro.routing.oracle import minimal_path_exists
+
+    return minimal_path_exists(labelled.safe_mask, s, d)
+
+
+def minimal_path_exists_theorem(
+    fault_mask: np.ndarray,
+    source: Sequence[int],
+    dest: Sequence[int],
+) -> bool:
+    """End-to-end Theorem 1 (2-D) / Theorem 2 (3-D) for an arbitrary pair.
+
+    Orients the mesh so the pair becomes canonical, labels, extracts
+    MCCs, builds walls, and applies the merged Lemma 1.  Raises when an
+    endpoint is not safe in the pair's direction class.
+    """
+    fault_mask = np.asarray(fault_mask, dtype=bool)
+    orientation = Orientation.for_pair(source, dest, fault_mask.shape)
+    labelled = label_grid(fault_mask, orientation)
+    mccs = extract_mccs(labelled)
+    walls = build_walls(mccs)
+    return minimal_path_exists_lemma1(
+        walls,
+        orientation.map_coord(source),
+        orientation.map_coord(dest),
+        labelled=labelled,
+    )
+
+
+def blocking_walls(
+    walls: list[Wall], source: Sequence[int], dest: Sequence[int]
+) -> list[Wall]:
+    """The walls witnessing infeasibility (empty iff a minimal path exists)."""
+    s = tuple(int(c) for c in source)
+    d = tuple(int(c) for c in dest)
+    return [w for w in walls if w.critical[d] and w.forbidden[s]]
+
+
+class ConditionEvaluator:
+    """Caches labelling/MCCs/walls per direction class for one fault mask.
+
+    Monte-Carlo experiments evaluate many (source, dest) pairs against a
+    single fault pattern; this class does the per-class heavy lifting
+    once (there are 4 classes in 2-D, 8 in 3-D).
+    """
+
+    def __init__(self, fault_mask: np.ndarray):
+        self.fault_mask = np.asarray(fault_mask, dtype=bool)
+        self._cache: dict[tuple[int, ...], tuple[LabelledGrid, MCCSet, list[Wall]]] = {}
+
+    def for_orientation(
+        self, orientation: Orientation
+    ) -> tuple[LabelledGrid, MCCSet, list[Wall]]:
+        key = orientation.signs
+        if key not in self._cache:
+            labelled = label_grid(self.fault_mask, orientation)
+            mccs = extract_mccs(labelled)
+            walls = build_walls(mccs)
+            self._cache[key] = (labelled, mccs, walls)
+        return self._cache[key]
+
+    def exists(self, source: Sequence[int], dest: Sequence[int]) -> bool:
+        """Theorem-based feasibility for an arbitrary mesh-frame pair."""
+        orientation = Orientation.for_pair(source, dest, self.fault_mask.shape)
+        labelled, _, walls = self.for_orientation(orientation)
+        return minimal_path_exists_lemma1(
+            walls,
+            orientation.map_coord(source),
+            orientation.map_coord(dest),
+            labelled=labelled,
+        )
+
+    def endpoint_safe(self, source: Sequence[int], dest: Sequence[int]) -> bool:
+        """True when both endpoints are safe in the pair's direction class."""
+        orientation = Orientation.for_pair(source, dest, self.fault_mask.shape)
+        labelled, _, _ = self.for_orientation(orientation)
+        return (
+            labelled.status[orientation.map_coord(source)] == 0
+            and labelled.status[orientation.map_coord(dest)] == 0
+        )

@@ -1,0 +1,184 @@
+"""Source-side feasibility detection (Algorithm 3 step 1, Algorithm 6 step 1).
+
+These are the *operational*, message-walk forms of Theorems 1 and 2: the
+source sends detection messages hugging the low faces of the RMP (region
+of minimal paths); each message prefers its surface directions and makes
+the minimal escape turn when an MCC obstructs it.  A minimal path exists
+iff every detection message reaches its target segment/surface.
+
+2-D (Algorithm 3): two walks from s —
+
+* the Y-message prefers +Y along x = xs, detours +X around MCCs, and
+  must reach the segment [xs:xd, yd:yd] (the top edge of the RMP);
+* the X-message prefers +X along y = ys, detours +Y, and must reach
+  [xd:xd, ys:yd] (the right edge).
+
+3-D (Algorithm 6): three surface floods from s —
+
+* the (−X)-surface message spreads along +Y/+Z, detouring +X, and must
+  reach the surface [xs:xd, yd:yd, zs:zd];
+* the (−Y)-surface spreads along +X/+Z, detouring +Y, target
+  [xs:xd, ys:yd, zd:zd];
+* the (−Z)-surface spreads along +X/+Y, detouring +Z, target
+  [xd:xd, ys:yd, zs:zd].
+
+Detour moves are only permitted from cells where an in-surface move is
+blocked by an *unsafe node* (not by the RMP boundary), matching "if the
+propagation … intersects with another MCC, it will make a turn … and
+then turn back … as soon as possible".
+
+Everything operates in the canonical frame on the unsafe mask produced
+by :func:`repro.core.labelling.label_grid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.labelling import label_grid
+from repro.mesh.orientation import Orientation
+
+
+@dataclass
+class DetectionReport:
+    """Outcome of one feasibility check, with per-message detail."""
+
+    feasible: bool
+    messages: dict[str, bool] = field(default_factory=dict)
+    trails: dict[str, list[tuple[int, ...]]] = field(default_factory=dict)
+
+
+def _walk_2d(
+    unsafe: np.ndarray,
+    source: tuple[int, int],
+    dest: tuple[int, int],
+    prefer_axis: int,
+) -> tuple[bool, list[tuple[int, ...]]]:
+    """One 2-D detection walk: prefer ``prefer_axis``, detour the other.
+
+    Succeeds on reaching dest's coordinate along the preferred axis while
+    still inside the RMP.  Fails when stuck or pushed past the RMP.
+    """
+    detour_axis = 1 - prefer_axis
+    pos = list(source)
+    trail = [tuple(pos)]
+    while True:
+        if pos[prefer_axis] == dest[prefer_axis]:
+            return True, trail
+        ahead = list(pos)
+        ahead[prefer_axis] += 1
+        if not unsafe[tuple(ahead)]:
+            pos = ahead
+        else:
+            side = list(pos)
+            side[detour_axis] += 1
+            if side[detour_axis] > dest[detour_axis] or unsafe[tuple(side)]:
+                return False, trail
+            pos = side
+        trail.append(tuple(pos))
+
+
+def _flood_surface_3d(
+    unsafe: np.ndarray,
+    source: tuple[int, int, int],
+    dest: tuple[int, int, int],
+    surface_axes: tuple[int, int],
+    detour_axis: int,
+    target_axis: int,
+) -> tuple[bool, list[tuple[int, ...]]]:
+    """One 3-D surface flood; returns success and the visited cells.
+
+    BFS from the source.  In-surface moves (+ along ``surface_axes``) are
+    always allowed into open RMP cells; the +``detour_axis`` move is
+    allowed only from cells where an in-surface move is blocked by an
+    unsafe node.  Succeeds when any cell reaches ``dest[target_axis]``
+    along ``target_axis``.
+    """
+    start = tuple(source)
+    if unsafe[start]:
+        return False, []
+    visited = {start}
+    queue = [start]
+    order = [start]
+    while queue:
+        cell = queue.pop()
+        if cell[target_axis] == dest[target_axis]:
+            return True, order
+        moves = []
+        obstructed = False
+        for axis in surface_axes:
+            ahead = list(cell)
+            ahead[axis] += 1
+            if ahead[axis] > dest[axis]:
+                continue
+            if unsafe[tuple(ahead)]:
+                obstructed = True
+            else:
+                moves.append(tuple(ahead))
+        if obstructed:
+            ahead = list(cell)
+            ahead[detour_axis] += 1
+            if ahead[detour_axis] <= dest[detour_axis] and not unsafe[tuple(ahead)]:
+                moves.append(tuple(ahead))
+        for nxt in moves:
+            if nxt not in visited:
+                visited.add(nxt)
+                queue.append(nxt)
+                order.append(nxt)
+    # Exhausted without touching the target face.
+    return False, order
+
+
+def detect_canonical(
+    unsafe: np.ndarray, source: Sequence[int], dest: Sequence[int]
+) -> DetectionReport:
+    """Feasibility detection in the canonical frame (source <= dest)."""
+    source = tuple(int(c) for c in source)
+    dest = tuple(int(c) for c in dest)
+    ndim = unsafe.ndim
+    if any(s > d for s, d in zip(source, dest)):
+        raise ValueError(f"not in canonical frame: source {source} !<= dest {dest}")
+    if unsafe[source] or unsafe[dest]:
+        raise ValueError("detection requires safe source and destination")
+    report = DetectionReport(feasible=True)
+    if ndim == 2:
+        specs = {"+Y along x=xs": 1, "+X along y=ys": 0}
+        for name, prefer in specs.items():
+            ok, trail = _walk_2d(unsafe, source, dest, prefer)
+            report.messages[name] = ok
+            report.trails[name] = trail
+            report.feasible &= ok
+    elif ndim == 3:
+        specs = {
+            "(-X)-surface": ((1, 2), 0, 1),
+            "(-Y)-surface": ((0, 2), 1, 2),
+            "(-Z)-surface": ((0, 1), 2, 0),
+        }
+        for name, (surf, detour, target) in specs.items():
+            ok, trail = _flood_surface_3d(unsafe, source, dest, surf, detour, target)
+            report.messages[name] = ok
+            report.trails[name] = trail
+            report.feasible &= ok
+    else:
+        raise NotImplementedError(
+            f"detection walks are defined for 2-D and 3-D meshes, not {ndim}-D"
+        )
+    return report
+
+
+def detection_feasible(
+    fault_mask: np.ndarray, source: Sequence[int], dest: Sequence[int]
+) -> bool:
+    """End-to-end detection for an arbitrary mesh-frame pair."""
+    fault_mask = np.asarray(fault_mask, dtype=bool)
+    orientation = Orientation.for_pair(source, dest, fault_mask.shape)
+    labelled = label_grid(fault_mask, orientation)
+    report = detect_canonical(
+        labelled.unsafe_mask,
+        orientation.map_coord(source),
+        orientation.map_coord(dest),
+    )
+    return report.feasible

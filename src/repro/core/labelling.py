@@ -1,0 +1,220 @@
+"""Unsafe-node labelling: Algorithm 1 (2-D), Algorithm 4 (3-D), any n.
+
+Status codes
+------------
+``SAFE`` (0), ``FAULTY`` (1), ``USELESS`` (2), ``CANT_REACH`` (3).
+
+The rules, for the canonical all-positive direction class:
+
+* a safe node becomes USELESS when *every* positive-axis neighbor exists
+  in the mesh and is faulty-or-useless (Algorithm 1 step 2 / Algorithm 4
+  step 2);
+* a safe node becomes CANT_REACH when every negative-axis neighbor
+  exists and is faulty-or-can't-reach (step 3);
+* repeat to a fixed point (step 4).
+
+Mesh borders do **not** count as blocking (DESIGN.md interpretation 1):
+otherwise the origin corner would be labelled can't-reach in every
+fault-free mesh.  With this rule the key invariants hold (and are
+property-tested in ``tests/test_minimality.py``):
+
+* a USELESS node u ≠ d cannot appear on any monotone path that ends at
+  a safe destination d — all its onward moves lead to useless nodes
+  forever;
+* a CANT_REACH node u ≠ s cannot be entered by any monotone path that
+  starts at a safe source s.
+
+Implementation: a numpy fixed-point sweep.  Each iteration shifts the
+blocked mask along every axis and combines with logical AND — O(n · N)
+per iteration, at most O(diameter) iterations; grids up to 100³ label in
+milliseconds (HPC guide: vectorize the inner loops, keep memory flat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.mesh.orientation import Orientation
+from repro.mesh.topology import Mesh
+
+SAFE: int = 0
+FAULTY: int = 1
+USELESS: int = 2
+CANT_REACH: int = 3
+
+STATUS_NAMES = {SAFE: "safe", FAULTY: "faulty", USELESS: "useless", CANT_REACH: "cant-reach"}
+
+
+def _shifted_blocked(blocked: np.ndarray, axis: int, sign: int) -> np.ndarray:
+    """Blocked-status of each node's neighbor along (axis, sign).
+
+    Nodes whose neighbor falls outside the mesh get ``False`` (mesh
+    borders are not blocking).
+    """
+    out = np.zeros_like(blocked)
+    src = [slice(None)] * blocked.ndim
+    dst = [slice(None)] * blocked.ndim
+    if sign > 0:
+        # neighbor at +1: out[..., i, ...] = blocked[..., i+1, ...]
+        src[axis] = slice(1, None)
+        dst[axis] = slice(None, -1)
+    else:
+        src[axis] = slice(None, -1)
+        dst[axis] = slice(1, None)
+    out[tuple(dst)] = blocked[tuple(src)]
+    return out
+
+
+def _closure(fault_mask: np.ndarray, sign: int) -> np.ndarray:
+    """Fixed point of one labelling rule.
+
+    ``sign=+1`` computes the USELESS set (positive neighbors blocked),
+    ``sign=-1`` the CANT_REACH set.  Returns a boolean mask of the newly
+    labelled (non-faulty) nodes.
+    """
+    ndim = fault_mask.ndim
+    blocked = fault_mask.copy()
+    while True:
+        neigh = _shifted_blocked(blocked, 0, sign)
+        for axis in range(1, ndim):
+            neigh &= _shifted_blocked(blocked, axis, sign)
+        new_blocked = blocked | neigh
+        if new_blocked is blocked or bool(np.array_equal(new_blocked, blocked)):
+            break
+        blocked = new_blocked
+    return blocked & ~fault_mask
+
+
+def _closure_reference(fault_mask: np.ndarray, sign: int) -> np.ndarray:
+    """Scalar reference implementation (used by tests, not by callers).
+
+    Literal transcription of Algorithm 1/4: repeatedly scan all nodes and
+    apply the local rule until nothing changes.
+    """
+    shape = fault_mask.shape
+    ndim = fault_mask.ndim
+    blocked = {tuple(c) for c in np.argwhere(fault_mask)}
+    changed = True
+    while changed:
+        changed = False
+        for coord in np.ndindex(shape):
+            if coord in blocked:
+                continue
+            all_blocked = True
+            for axis in range(ndim):
+                n = list(coord)
+                n[axis] += sign
+                if not 0 <= n[axis] < shape[axis]:
+                    all_blocked = False
+                    break
+                if tuple(n) not in blocked:
+                    all_blocked = False
+                    break
+            if all_blocked:
+                blocked.add(coord)
+                changed = True
+    out = np.zeros(shape, dtype=bool)
+    for coord in blocked:
+        out[coord] = True
+    return out & ~fault_mask
+
+
+@dataclass(frozen=True)
+class LabelledGrid:
+    """The outcome of the labelling procedure, in the canonical frame.
+
+    ``status`` holds SAFE/FAULTY/USELESS/CANT_REACH per node; the
+    convenience masks are views derived once.  ``orientation`` records the
+    direction class so that callers can map coordinates back to the mesh
+    frame.
+    """
+
+    status: np.ndarray
+    orientation: Orientation
+
+    @property
+    def fault_mask(self) -> np.ndarray:
+        return self.status == FAULTY
+
+    @property
+    def useless_mask(self) -> np.ndarray:
+        return self.status == USELESS
+
+    @property
+    def cant_reach_mask(self) -> np.ndarray:
+        return self.status == CANT_REACH
+
+    @property
+    def unsafe_mask(self) -> np.ndarray:
+        """Faulty or useless or can't-reach (the MCC node set)."""
+        return self.status != SAFE
+
+    @property
+    def safe_mask(self) -> np.ndarray:
+        return self.status == SAFE
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.status.shape
+
+    def status_at(self, coord: Sequence[int]) -> int:
+        return int(self.status[tuple(coord)])
+
+    def counts(self) -> dict[str, int]:
+        """Node counts per status (reporting helper)."""
+        return {
+            name: int((self.status == code).sum())
+            for code, name in STATUS_NAMES.items()
+        }
+
+
+def label_grid(
+    fault_mask: np.ndarray, orientation: Orientation | None = None
+) -> LabelledGrid:
+    """Run the labelling procedure for one direction class.
+
+    ``fault_mask`` is in mesh-frame coordinates; the returned
+    :class:`LabelledGrid` is in the *canonical* frame of ``orientation``
+    (identity by default).  A node that satisfies both rules (useless and
+    can't-reach) is reported as USELESS — either way it is unsafe, and
+    the tie is impossible for non-degenerate meshes larger than 1 per
+    axis except through faults on both sides.
+    """
+    if orientation is None:
+        orientation = Orientation.identity(fault_mask.shape)
+    canonical_faults = orientation.to_canonical(np.asarray(fault_mask, dtype=bool))
+    useless = _closure(canonical_faults, +1)
+    cant = _closure(canonical_faults, -1)
+    status = np.zeros(canonical_faults.shape, dtype=np.int8)
+    status[cant] = CANT_REACH
+    status[useless] = USELESS  # USELESS wins ties, see docstring
+    status[canonical_faults] = FAULTY
+    return LabelledGrid(status=status, orientation=orientation)
+
+
+def label_mesh(
+    mesh: Mesh,
+    fault_mask: np.ndarray,
+    source: Sequence[int] | None = None,
+    dest: Sequence[int] | None = None,
+) -> LabelledGrid:
+    """Label for the direction class of a concrete (source, dest) pair."""
+    if fault_mask.shape != mesh.shape:
+        raise ValueError(
+            f"fault mask shape {fault_mask.shape} != mesh shape {mesh.shape}"
+        )
+    if source is None or dest is None:
+        orientation = Orientation.identity(mesh.shape)
+    else:
+        orientation = Orientation.for_pair(
+            mesh.require(source, "source"), mesh.require(dest, "dest"), mesh.shape
+        )
+    return label_grid(fault_mask, orientation)
+
+
+def unsafe_mask(fault_mask: np.ndarray) -> np.ndarray:
+    """Shorthand: canonical-class unsafe mask for a fault mask."""
+    return label_grid(np.asarray(fault_mask, dtype=bool)).unsafe_mask

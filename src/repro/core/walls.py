@@ -1,0 +1,150 @@
+"""Boundary walls with chain merging (Algorithm 2 step 3, Algorithm 5 step 4).
+
+A wall for MCC ``M`` and dimension ``dim`` carries three pieces of
+information along the cells from which a routing could step into the
+forbidden region: the region shape ``M``, the (chain-merged) forbidden
+region ``Q_dim``, and the critical region ``Q'_dim``.
+
+Chain merging reproduces the paper's boundary joining: when the wall of
+``M`` runs into another MCC ``M'`` (i.e. ``M'`` occupies cells where the
+wall would stand), the wall continues along ``M'``'s boundary and the
+forbidden regions merge (``Q(M) := Q(M) ∪ Q(M')``).  Here that is
+computed as a fixpoint:
+
+    Z := Q_dim(M)
+    while some component M' ≠ M occupies an entry cell of Z:
+        Z := Z ∪ Q_dim(M')
+
+Entry cells of the final ``Z`` that are safe are the wall's *record
+cells*: the distributed protocol deposits its boundary records exactly
+there, and the centralized router reads them from this module.  The
+critical region stays ``Q'_dim(M)`` — chains extend the forbidden side
+only (Algorithm 5 step 4: "merge Q_Y(v) into Q_Y(u)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.components import MCCSet
+from repro.core.shadows import entry_cells, negative_shadow, positive_shadow
+
+
+@dataclass(frozen=True)
+class Wall:
+    """The merged boundary information of one (MCC, dimension) pair.
+
+    ``forbidden`` is the chain-merged Q; ``critical`` the originating
+    MCC's Q'; ``records`` maps each entry axis to the boolean mask of
+    safe cells holding this wall's record for that axis; ``chain`` lists
+    the MCC indices merged into the forbidden region (starting with the
+    owner).
+    """
+
+    mcc_index: int
+    dim: int
+    forbidden: np.ndarray
+    critical: np.ndarray
+    records: dict[int, np.ndarray]
+    chain: tuple[int, ...]
+
+    def guards(self, coord: Sequence[int], entry_axis: int) -> bool:
+        """True when ``coord`` holds this wall's record for ``entry_axis``."""
+        return bool(self.records[entry_axis][tuple(coord)])
+
+
+def merged_forbidden(
+    mccs: MCCSet, mcc_index: int, dim: int
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Chain-merged forbidden region of one MCC along ``dim``.
+
+    Returns the merged mask and the tuple of merged component indices.
+    The fixpoint terminates because each iteration adds at least one of
+    finitely many components.
+    """
+    labels = mccs.labels
+    ndim = labels.ndim
+    shadow_of = lambda idx: negative_shadow(mccs.mask_of(idx), dim)
+    merged = [mcc_index]
+    z = shadow_of(mcc_index)
+    entry_axes = [a for a in range(ndim) if a != dim]
+    while True:
+        obstructing: set[int] = set()
+        for axis in entry_axes:
+            wall_cells = entry_cells(z, axis)
+            hit = np.unique(labels[wall_cells])
+            obstructing.update(int(i) for i in hit if i != 0)
+        new = [i for i in sorted(obstructing) if i not in merged]
+        if not new:
+            return z, tuple(merged)
+        for idx in new:
+            z |= shadow_of(idx)
+            merged.append(idx)
+
+
+def build_walls(mccs: MCCSet) -> list[Wall]:
+    """All walls (one per MCC per dimension) with merged regions.
+
+    Walls whose forbidden region is empty (the MCC hugs the mesh floor
+    along ``dim`` everywhere) are still returned — their record masks are
+    empty and they never guard anything — so callers can index walls as
+    ``mcc_count × ndim`` deterministically.
+    """
+    ndim = mccs.labels.ndim
+    safe = mccs.labelled.safe_mask
+    walls: list[Wall] = []
+    for mcc in mccs:
+        own_mask = mccs.mask_of(mcc.index)
+        for dim in range(ndim):
+            forbidden, chain = merged_forbidden(mccs, mcc.index, dim)
+            critical = positive_shadow(own_mask, dim)
+            records = {
+                axis: entry_cells(forbidden, axis) & safe
+                for axis in range(ndim)
+                if axis != dim
+            }
+            walls.append(
+                Wall(
+                    mcc_index=mcc.index,
+                    dim=dim,
+                    forbidden=forbidden,
+                    critical=critical,
+                    records=records,
+                    chain=chain,
+                )
+            )
+    return walls
+
+
+def walls_for(walls: list[Wall], mcc_index: int) -> list[Wall]:
+    """The ndim walls belonging to one MCC."""
+    return [w for w in walls if w.mcc_index == mcc_index]
+
+
+def active_walls(walls: list[Wall], dest: Sequence[int]) -> list[Wall]:
+    """Walls whose critical region contains the destination.
+
+    Only these constrain a routing toward ``dest`` (Algorithm 3 step 2b:
+    exclude a direction only when "the destination is in the critical
+    region").
+    """
+    dest = tuple(dest)
+    return [w for w in walls if bool(w.critical[dest])]
+
+
+def forbidden_mask_for_dest(
+    walls: list[Wall], dest: Sequence[int], shape: Sequence[int]
+) -> np.ndarray:
+    """Union of merged forbidden regions of all walls active for ``dest``.
+
+    This is the model's prediction of the oracle's exact blocked set
+    (restricted to safe cells inside the RMP) — compared head-to-head in
+    the fidelity experiment (T5).
+    """
+    out = np.zeros(tuple(shape), dtype=bool)
+    for wall in active_walls(walls, dest):
+        out |= wall.forbidden
+    return out

@@ -1,0 +1,237 @@
+"""Distributed boundary construction (Algorithm 2 step 3, Algorithm 5 step 4).
+
+When a section's identification completes at its initialization corner,
+the corner launches two wall-walk messages per plane:
+
+* one descending −v that guards +u crossings into the section's
+  v-shadow (the 2-D Y boundary; the (+Y−X)/(+Z−Y)/(+Z−X) boundaries of
+  the 3-D section families), and
+* one descending −u that guards +v crossings into the u-shadow (the 2-D
+  X boundary; (+X−Y)/(+Y−Z)/(+X−Z)).
+
+Each ``WALL`` message deposits a *boundary record* at every node it
+visits: the owning section, the shadow (forbidden) region encoded as
+per-column tops, and the critical region as per-column bottoms.  When
+the descent runs into another MCC section, the walk *joins* that
+section's boundary: it merges the obstructor's shadow into its record
+(per-column max — the paper's ``Q(c) := Q(c) ∪ Q(v)``), wall-follows
+around the obstructor to its initialization corner, and resumes the
+descent — recursively chaining through any further obstructions.
+
+The obstructor's shape is read from the *local* store of the node that
+bumped into it: that node is 4-adjacent to the obstructing section, so
+it is one of the ring nodes where the identification phase deposited
+the shape.  If identification has not finished there yet, the walk
+retries after a short local delay (bounded), mirroring the paper's
+implicit stabilization ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.labelling import SAFE
+from repro.mesh.coords import Coord
+from repro.simkit.message import Message
+from repro.simkit.node import NodeProcess
+from repro.distributed.ringwalk import plane_step, ring_step
+
+_MAX_RETRIES = 40
+_RETRY_DELAY = 5.0
+
+
+class BoundaryMixin(NodeProcess):
+    """Boundary-construction behaviour; layers on IdentificationMixin."""
+
+    # -- launching ---------------------------------------------------------------
+
+    def on_section_identified(self, plane, corner, shape) -> None:
+        """Identification hook: start this section's two boundary walls."""
+        axis_u, axis_v = plane
+        cells_uv = {(c[axis_u], c[axis_v]) for c in shape}
+        for desc_idx in (1, 0):  # descend v (guard +u), then descend u (guard +v)
+            col_idx = 1 - desc_idx
+            desc_axis = plane[desc_idx]
+            guard_axis = plane[col_idx]
+            tops: dict[int, int] = {}
+            bottoms: dict[int, int] = {}
+            for uv in cells_uv:
+                col, height = uv[col_idx], uv[desc_idx]
+                tops[col] = max(tops.get(col, height), height)
+                bottoms[col] = min(bottoms.get(col, height), height)
+            payload = {
+                "plane": list(plane),
+                "owner": list(corner),
+                "desc_axis": desc_axis,
+                "guard_axis": guard_axis,
+                "tops": sorted(tops.items()),
+                "bottoms": sorted(bottoms.items()),
+                "mode": "descend",
+                "retries": 0,
+            }
+            self._wall_arrive(payload)
+
+    # -- record bookkeeping ---------------------------------------------------------
+
+    def _deposit_record(self, payload: dict[str, Any]) -> None:
+        records = self.store.setdefault("records", {})
+        key = (
+            tuple(payload["plane"]),
+            tuple(payload["owner"]),
+            payload["desc_axis"],
+            payload["guard_axis"],
+        )
+        records[key] = {
+            "plane": tuple(payload["plane"]),
+            "owner": tuple(payload["owner"]),
+            "shadow_axis": payload["desc_axis"],
+            "guard_axis": payload["guard_axis"],
+            "tops": dict(tuple(t) for t in payload["tops"]),
+            "bottoms": dict(tuple(b) for b in payload["bottoms"]),
+        }
+
+    # -- the walk ------------------------------------------------------------------
+
+    def _wall_arrive(self, payload: dict[str, Any]) -> None:
+        """Handle the wall message at this node (deposit, then move on)."""
+        if self.store.get("label", SAFE) != SAFE:
+            return
+        budget = 8 * (2 * sum(self.network.mesh.shape) + 8)
+        if payload.get("hops", 0) > budget:
+            self.network.stats.bump("dropped[wall-hops]")
+            return
+        self._deposit_record(payload)
+        if payload["mode"] == "descend":
+            self._wall_descend(payload)
+        else:
+            self._wall_detour(payload)
+
+    def _wall_descend(self, payload: dict[str, Any]) -> None:
+        desc_axis = payload["desc_axis"]
+        nxt = list(self.coord)
+        nxt[desc_axis] -= 1
+        nxt = tuple(nxt)
+        if not self.network.mesh.contains(nxt):
+            return  # reached the mesh floor: wall complete
+        if not self._is_unsafe(nxt):
+            self._wall_forward(payload, nxt)
+            return
+        # Obstructed: join the obstructor's boundary (chain merge).
+        shape = self._find_local_shape(tuple(payload["plane"]), nxt)
+        if shape is None:
+            self._wall_retry(payload)
+            return
+        self._merge_shape(payload, shape)
+        target = self._section_corner(tuple(payload["plane"]), shape)
+        if not self.network.mesh.contains(target):
+            return  # obstructor hugs the mesh edge: wall ends (barrier)
+        payload = dict(payload)
+        payload["mode"] = "detour"
+        payload["target"] = list(target)
+        # Initial detour heading: turn from -desc toward -guard.
+        plane = tuple(payload["plane"])
+        heading_uv = self._detour_heading(plane, desc_axis)
+        payload["heading"] = list(heading_uv)
+        self._wall_detour(payload)
+
+    def _wall_detour(self, payload: dict[str, Any]) -> None:
+        plane = tuple(payload["plane"])
+        axis_u, axis_v = plane
+        payload = dict(payload)
+        # A pinched detour can run along *other* sections than the one
+        # that obstructed the descent: merge every section this node
+        # touches and retarget to the deepest corner seen so far, so the
+        # walk resumes below the whole chained obstruction.
+        merged = [tuple(c) for c in payload.get("merged", [])]
+        for du, dv in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            n = plane_step(self.coord, axis_u, axis_v, du, dv)
+            if not self.network.mesh.contains(n) or not self._is_unsafe(n):
+                continue
+            shape = self._find_local_shape(plane, n)
+            if shape is None:
+                continue
+            corner = self._section_corner(plane, shape)
+            if corner in merged:
+                continue
+            merged.append(corner)
+            self._merge_shape(payload, shape)
+            target = tuple(payload["target"])
+            desc = payload["desc_axis"]
+            if self.network.mesh.contains(corner) and (
+                corner[desc] < target[desc]
+                or (corner[desc] == target[desc]
+                    and corner[payload["guard_axis"]] < target[payload["guard_axis"]])
+            ):
+                payload["target"] = list(corner)
+        payload["merged"] = [list(c) for c in merged]
+        target = tuple(payload["target"])
+        if self.coord == target:
+            payload["mode"] = "descend"
+            self._wall_descend(payload)
+            return
+        heading = tuple(payload["heading"])
+        clockwise = payload["desc_axis"] == axis_u  # see module docstring
+        nxt = ring_step(
+            self.coord, heading, clockwise, axis_u, axis_v, self._passable_local
+        )
+        if nxt is None:
+            return  # boxed in; drop the wall here
+        cell, new_heading = nxt
+        payload["heading"] = list(new_heading)
+        self._wall_forward(payload, cell)
+
+    def _wall_forward(self, payload: dict[str, Any], dst: Coord) -> None:
+        payload = dict(payload)
+        payload["hops"] = payload.get("hops", 0) + 1
+        self.send(dst, "WALL", payload)
+
+    def _wall_retry(self, payload: dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload["retries"] = payload.get("retries", 0) + 1
+        if payload["retries"] > _MAX_RETRIES:
+            return  # obstructor never identified (e.g. broken ring): drop
+        self.network.sim.schedule(_RETRY_DELAY, lambda: self._wall_arrive(payload))
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _detour_heading(self, plane, desc_axis) -> tuple[int, int]:
+        """First detour move: toward -guard, i.e. -u when descending v."""
+        if desc_axis == plane[1]:  # descending v, guard u: head -u
+            return (-1, 0)
+        return (0, -1)  # descending u, guard v: head -v
+
+    def _find_local_shape(self, plane, cell: Coord):
+        """Shape of the section (same plane family) containing ``cell``."""
+        for (p, corner), shape in self.store.get("shapes", {}).items():
+            if tuple(p) == plane and tuple(cell) in shape:
+                return shape
+        return None
+
+    def _section_corner(self, plane, shape) -> Coord:
+        """In-plane SW outer corner (umin-1, vmin-1) of a section shape."""
+        axis_u, axis_v = plane
+        umin = min(c[axis_u] for c in shape)
+        vmin = min(c[axis_v] for c in shape)
+        out = list(next(iter(shape)))
+        out[axis_u] = umin - 1
+        out[axis_v] = vmin - 1
+        return tuple(out)
+
+    def _merge_shape(self, payload: dict[str, Any], shape) -> None:
+        """Q := Q ∪ Q(obstructor): per-column max of shadow tops."""
+        plane = tuple(payload["plane"])
+        desc_axis = payload["desc_axis"]
+        col_axis = payload["guard_axis"]
+        tops = dict(tuple(t) for t in payload["tops"])
+        for cell in shape:
+            col, height = cell[col_axis], cell[desc_axis]
+            tops[col] = max(tops.get(col, height), height)
+        payload["tops"] = sorted(tops.items())
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def handle_boundary(self, msg: Message) -> bool:
+        if msg.kind == "WALL":
+            self._wall_arrive(msg.payload)
+            return True
+        return False

@@ -1,0 +1,395 @@
+"""Distributed MCC identification (Algorithm 2 steps 1–2, Algorithm 5 step 1).
+
+Runs after the labelling protocol has quiesced.  Phases, all strictly
+node-local:
+
+1. **Edge announcement** — every safe node that sees an unsafe neighbor
+   (in-plane) broadcasts ``EDGE`` with the offending directions; nodes
+   store their neighbors' announcements.
+2. **Corner detection** — a node whose +u neighbor reports unsafe at +v
+   and whose +v neighbor reports unsafe at +u is an *initialization
+   corner* (the outer node diagonally below-left of the region's
+   (umin, vmin) cell).
+3. **Two-head-on identification** — each initialization corner launches
+   one clockwise and one counter-clockwise ``IDENT`` message.  Each
+   message wall-follows the edge ring, accumulating the unsafe boundary
+   cells its hosts observe, and leaves a visit marker at every node.
+   When a message arrives at a node already marked by its counterpart,
+   the two have met (the paper: "may meet at any edge node … not
+   necessary a corner node"): the union of both partial boundaries
+   covers the whole ring, the section shape is assembled by boundary
+   fill, and ``SHAPE`` messages retrace both trails, depositing the
+   shape at every ring node and finally at the initialization corner.
+4. **TTL/stability** — messages carry a TTL proportional to the mesh
+   perimeter; anything that wanders (unstable regions, border-broken
+   rings) is discarded in flight, and the corner simply never completes
+   — the paper's discard semantics.  A message that walks the full ring
+   back to its corner without meeting its counterpart is discarded too
+   ("if only one message is received … this message should also be
+   discarded").
+
+In 3-D the same protocol runs per plane family (XY, XZ, YZ sections):
+each message moves only within its plane, matching "the identification
+process … starts from the identification of each 2-D section".
+"""
+
+from __future__ import annotations
+
+from repro.core.labelling import SAFE
+from repro.mesh.coords import Coord
+from repro.simkit.message import Message
+from repro.simkit.node import NodeProcess
+from repro.distributed.ringwalk import (
+    fill_interior,
+    initial_heading,
+    plane_step,
+    ring_step,
+)
+
+
+def plane_families(ndim: int) -> list[tuple[int, int]]:
+    """The (axis_u, axis_v) section families: one in 2-D, three in 3-D."""
+    if ndim == 2:
+        return [(0, 1)]
+    if ndim == 3:
+        return [(0, 1), (0, 2), (1, 2)]
+    raise NotImplementedError(f"identification supports 2-D/3-D, got {ndim}-D")
+
+
+class IdentificationMixin(NodeProcess):
+    """Identification behaviour layered onto a labelled node.
+
+    Requires ``store["label"]`` and ``store["known_labels"]`` from the
+    labelling protocol.  Results:
+
+    * ``store["shapes"]`` — {(plane, corner): frozenset(mesh cells)} for
+      every identified section this node is a ring node of;
+    * ``store["corner_of"]`` — [(plane, corner), shape] pairs this node
+      initiated and completed.
+    """
+
+    # -- local knowledge helpers ------------------------------------------------
+
+    def _is_unsafe(self, coord: Coord) -> bool:
+        """Node-local safety knowledge about a *neighbor* cell."""
+        if not self.network.mesh.contains(coord):
+            return False
+        if self.network.is_faulty(coord):
+            return True
+        return self.store["known_labels"].get(tuple(coord), SAFE) != SAFE
+
+    def _passable_local(self, coord: Coord) -> bool:
+        return self.network.mesh.contains(coord) and not self._is_unsafe(coord)
+
+    def _unsafe_plane_dirs(self, axis_u: int, axis_v: int) -> list[tuple[int, int]]:
+        """In-plane (du, dv) unit directions pointing at unsafe neighbors."""
+        out = []
+        for du, dv in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            n = plane_step(self.coord, axis_u, axis_v, du, dv)
+            if self.network.mesh.contains(n) and self._is_unsafe(n):
+                out.append((du, dv))
+        return out
+
+    def _ring_contacts(self, plane: tuple[int, int]) -> set[Coord]:
+        """Unsafe cells 8-adjacent (in-plane) to this node.
+
+        Strictly local knowledge: orthogonal neighbors via own labels,
+        diagonals via the EDGE announcements of the two shared
+        orthogonal neighbors.
+        """
+        axis_u, axis_v = plane
+        contacts: set[Coord] = set()
+        for du, dv in self._unsafe_plane_dirs(axis_u, axis_v):
+            contacts.add(plane_step(self.coord, axis_u, axis_v, du, dv))
+        for du in (-1, 1):
+            for dv in (-1, 1):
+                nu = plane_step(self.coord, axis_u, axis_v, du, 0)
+                nv = plane_step(self.coord, axis_u, axis_v, 0, dv)
+                if self._neighbor_reports(nu, plane, (0, dv)) or (
+                    self._neighbor_reports(nv, plane, (du, 0))
+                ):
+                    contacts.add(plane_step(self.coord, axis_u, axis_v, du, dv))
+        return contacts
+
+    def _on_ring(self, plane: tuple[int, int]) -> bool:
+        """Is this node 8-adjacent (in-plane) to some unsafe cell?"""
+        return bool(self._ring_contacts(plane))
+
+    # -- phase 1: edge announcements -------------------------------------------
+
+    def start_identification(self) -> None:
+        if self.store.get("label", SAFE) != SAFE:
+            return  # unsafe nodes take no part
+        self.store.setdefault("shapes", {})
+        self.store.setdefault("edge_info", {})
+        self.store.setdefault("corner_of", [])
+        self.store.setdefault("_ident_marks", {})
+        announce = []
+        for plane in plane_families(self.network.mesh.ndim):
+            dirs = self._unsafe_plane_dirs(*plane)
+            if dirs:
+                announce.append([list(plane), [list(d) for d in dirs]])
+        if announce:
+            for n in self.neighbors():
+                if not self.network.is_faulty(n):
+                    self.send(n, "EDGE", {"planes": announce})
+        # Corner detection needs one announcement round; check after the
+        # announcements have propagated (2 link delays).
+        self.set_timer(2.5, "corner-check")
+
+    def _on_edge(self, msg: Message) -> None:
+        info = self.store.setdefault("edge_info", {})
+        info[tuple(msg.src)] = {
+            tuple(plane): {tuple(d) for d in dirs}
+            for plane, dirs in msg.payload["planes"]
+        }
+
+    # -- phase 2: corner detection ----------------------------------------------
+
+    def _neighbor_reports(
+        self, neighbor: Coord, plane: tuple[int, int], direction: tuple[int, int]
+    ) -> bool:
+        info = self.store.get("edge_info", {}).get(tuple(neighbor), {})
+        return tuple(direction) in info.get(tuple(plane), set())
+
+    def _is_init_corner(self, plane: tuple[int, int]) -> bool:
+        """+u neighbor is an edge node at +v, +v neighbor an edge node at +u."""
+        axis_u, axis_v = plane
+        nu = plane_step(self.coord, axis_u, axis_v, 1, 0)
+        nv = plane_step(self.coord, axis_u, axis_v, 0, 1)
+        return (
+            self._passable_local(nu)
+            and self._passable_local(nv)
+            and self._neighbor_reports(nu, plane, (0, 1))
+            and self._neighbor_reports(nv, plane, (1, 0))
+        )
+
+    def _corner_check(self) -> None:
+        for plane in plane_families(self.network.mesh.ndim):
+            if self._is_init_corner(plane):
+                self._launch_identification(plane)
+
+    # -- phase 3: the two-head-on walk -----------------------------------------
+
+    def _ttl(self) -> int:
+        return 6 * (2 * sum(self.network.mesh.shape) + 8)
+
+    def _launch_identification(self, plane: tuple[int, int]) -> None:
+        axis_u, axis_v = plane
+        for clockwise in (True, False):
+            du, dv = initial_heading(clockwise)
+            first = plane_step(self.coord, axis_u, axis_v, du, dv)
+            if not self._passable_local(first):
+                return  # ring broken right at the corner; discard section
+            payload = {
+                "plane": list(plane),
+                "corner": list(self.coord),
+                "clockwise": clockwise,
+                "heading": [du, dv],
+                "trail": [list(self.coord)],
+            }
+            self.send(first, "IDENT", payload, ttl=self._ttl())
+
+    def _on_ident(self, msg: Message) -> None:
+        if self.store.get("label", SAFE) != SAFE:
+            return  # walked onto a node that turned unsafe: drop (instability)
+        plane = tuple(msg.payload["plane"])
+        axis_u, axis_v = plane
+        corner = tuple(msg.payload["corner"])
+        clockwise = bool(msg.payload["clockwise"])
+        trail = [tuple(c) for c in msg.payload["trail"]] + [self.coord]
+        snapshot = {"trail": trail}
+
+        if self.coord == corner:
+            return  # full loop without meeting the counterpart: discard
+
+        contacts = self._ring_contacts(plane)
+        if not contacts:
+            # Left the region's ring (border-broken ring): reverse and
+            # bring the partial trail back to the initialization corner.
+            self._reverse_ident(plane, corner, clockwise, trail)
+            return
+        prev_contacts = {tuple(c) for c in msg.payload.get("contact", [])}
+        if prev_contacts and not any(
+            all(abs(a - b) <= 1 for a, b in zip(mine_c, prev_c))
+            for mine_c in contacts
+            for prev_c in prev_contacts
+        ):
+            # Contour discontinuity: this cell hugs a *different* MCC
+            # (rings of nearby components touch near mesh borders).
+            # Walking on would assemble a bogus union region — reverse.
+            self._reverse_ident(plane, corner, clockwise, trail)
+            return
+
+        marks = self.store.setdefault("_ident_marks", {})
+        other_key = (plane, corner, not clockwise)
+        if other_key in marks:
+            self._assemble(plane, corner, snapshot, marks[other_key])
+            return  # first contact: stop this walker
+        marks[(plane, corner, clockwise)] = snapshot
+
+        heading = tuple(msg.payload["heading"])
+        nxt = ring_step(
+            self.coord, heading, clockwise, axis_u, axis_v, self._passable_local
+        )
+        if nxt is None:
+            self._reverse_ident(plane, corner, clockwise, trail, include_self=True)
+            return
+        cell, new_heading = nxt
+        if len(trail) >= 2 and cell == trail[-2]:
+            # Dead-end arc (pinched against the border): the only move is
+            # a retreat.  Reverse with this on-ring cell kept in the chain.
+            self._reverse_ident(plane, corner, clockwise, trail, include_self=True)
+            return
+        payload = dict(msg.payload)
+        payload["trail"] = [list(c) for c in trail]
+        payload["heading"] = list(new_heading)
+        payload["contact"] = [list(c) for c in contacts]
+        fwd = Message(
+            "IDENT", self.coord, cell, payload,
+            hops=msg.hops + 1, ttl=msg.ttl, msg_id=msg.msg_id,
+        )
+        self.network.transmit(fwd)
+
+    def _reverse_ident(
+        self, plane, corner, clockwise, trail, include_self: bool = False
+    ) -> None:
+        """Send the partial trail back to the corner (broken ring).
+
+        ``include_self`` keeps the current cell in the chain (dead-end
+        reversals happen *on* the ring; off-ring/discontinuity reversals
+        happen one step past it).
+        """
+        chain = trail if include_self else trail[:-1]
+        payload = {
+            "plane": list(plane),
+            "corner": list(corner),
+            "clockwise": clockwise,
+            "trail": [list(c) for c in chain],
+        }
+        if len(trail) < 2:
+            return
+        self.send(trail[-2], "IDENT_BACK", payload, ttl=self._ttl())
+
+    def _on_ident_back(self, msg: Message) -> None:
+        plane = tuple(msg.payload["plane"])
+        corner = tuple(msg.payload["corner"])
+        trail = [tuple(c) for c in msg.payload["trail"]]
+        if self.coord == corner:
+            arrivals = self.store.setdefault("_ident_back", {})
+            slot = arrivals.setdefault((plane, corner), {})
+            slot["cw" if msg.payload["clockwise"] else "ccw"] = trail
+            if "cw" in slot and "ccw" in slot:
+                # Trails arrive corner-first; _send_shape walks outward
+                # from this node, so hand them over reversed.
+                self._assemble(
+                    plane,
+                    corner,
+                    {"trail": list(reversed(slot["cw"]))},
+                    {"trail": list(reversed(slot["ccw"]))},
+                    closed=False,
+                )
+                del arrivals[(plane, corner)]
+            return
+        # Walk back along the recorded trail toward the corner.
+        try:
+            here = trail.index(self.coord)
+        except ValueError:
+            return  # stale trail (should not happen): drop
+        if here == 0:
+            return
+        self.send(trail[here - 1], "IDENT_BACK", dict(msg.payload),
+                  ttl=self._ttl())
+
+    # -- phase 4: shape assembly and deposit --------------------------------------
+
+    def _assemble(self, plane, corner, mine, theirs, closed: bool = True) -> None:
+        """Shape = interior enclosed by the union of the two ring trails.
+
+        The paper assembles the shape from the corner coordinates the
+        messages collected; the enclosed-interior fill is the same
+        geometry (and also recovers thick interiors).  Holes inside a
+        3-D section are filled too — harmless, since the forbidden and
+        critical regions depend only on per-column extrema.
+        """
+        ring = {tuple(c) for c in mine["trail"]} | {tuple(c) for c in theirs["trail"]}
+        if not ring:
+            return
+        axis_u, axis_v = plane
+        ring_uv = {(c[axis_u], c[axis_v]) for c in ring}
+        corner_uv = (corner[axis_u], corner[axis_v])
+        bounds = (self.network.mesh.shape[axis_u], self.network.mesh.shape[axis_v])
+        interior = fill_interior(ring_uv, corner_uv, bounds, closed=closed)
+        if not interior:
+            return  # degenerate ring: discard
+        anchor = next(iter(ring))
+        shape = frozenset(self._lift(plane, uv, anchor) for uv in interior)
+        for snapshot in (mine, theirs):
+            trail = [tuple(c) for c in snapshot["trail"]]
+            self._send_shape(plane, corner, shape, trail)
+
+    def _lift(self, plane, uv, anchor: Coord) -> Coord:
+        out = list(anchor)
+        out[plane[0]], out[plane[1]] = uv
+        return tuple(out)
+
+    def _send_shape(self, plane, corner, shape, trail) -> None:
+        self._store_shape(plane, corner, shape)
+        self._maybe_complete(plane, corner, shape)
+        if len(trail) < 2:
+            return
+        payload = {
+            "plane": list(plane),
+            "corner": list(corner),
+            "shape": [list(c) for c in sorted(shape)],
+            "trail": [list(c) for c in trail[:-1]],
+        }
+        self.send(trail[-2], "SHAPE", payload, ttl=self._ttl())
+
+    def _on_shape(self, msg: Message) -> None:
+        plane = tuple(msg.payload["plane"])
+        corner = tuple(msg.payload["corner"])
+        shape = frozenset(tuple(c) for c in msg.payload["shape"])
+        self._store_shape(plane, corner, shape)
+        self._maybe_complete(plane, corner, shape)
+        trail = [tuple(c) for c in msg.payload["trail"]]
+        if len(trail) < 2:
+            return
+        payload = dict(msg.payload)
+        payload["trail"] = [list(c) for c in trail[:-1]]
+        self.send(trail[-2], "SHAPE", payload, ttl=self._ttl())
+
+    def _store_shape(self, plane, corner, shape) -> None:
+        self.store.setdefault("shapes", {})[(tuple(plane), tuple(corner))] = shape
+
+    def _maybe_complete(self, plane, corner, shape) -> None:
+        if tuple(corner) != self.coord:
+            return
+        marks = self.store.setdefault("corner_of", [])
+        key = (tuple(plane), tuple(corner))
+        if key not in [k for k, _ in marks]:
+            marks.append((key, shape))
+            self.on_section_identified(tuple(plane), tuple(corner), shape)
+
+    def on_section_identified(self, plane, corner, shape) -> None:
+        """Hook for the boundary-construction layer."""
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def handle_identification(self, msg: Message) -> bool:
+        """Route identification messages; True when consumed."""
+        if msg.kind == "EDGE":
+            self._on_edge(msg)
+        elif msg.kind == "IDENT":
+            self._on_ident(msg)
+        elif msg.kind == "IDENT_BACK":
+            self._on_ident_back(msg)
+        elif msg.kind == "SHAPE":
+            self._on_shape(msg)
+        else:
+            return False
+        return True
+
+    def on_timer(self, tag: str) -> None:
+        if tag == "corner-check":
+            self._corner_check()

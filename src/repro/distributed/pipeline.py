@@ -1,0 +1,131 @@
+"""End-to-end orchestration of the distributed MCC pipeline.
+
+``DistributedMCCPipeline`` wires the protocol mixins into one node
+class, runs the phases in order (labelling → identification +
+boundaries → routing queries), and exposes observer-side accessors used
+by the experiments and the validation tests.
+
+The pipeline operates in the **canonical direction class**: callers
+route pairs with source <= dest component-wise (the experiments orient
+their fault masks per pair, exactly like the centralized API does).
+Phase changes model the paper's stabilization windows: a deployment
+would run the phases continuously with timers, but the fixed-point
+content of each phase is identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.labelling import SAFE
+from repro.distributed.boundary_proto import BoundaryMixin
+from repro.distributed.identification import IdentificationMixin
+from repro.distributed.labelling_proto import LabellingNode, labels_as_grid
+from repro.distributed.routing_proto import RoutingMixin
+from repro.mesh.coords import Coord
+from repro.mesh.topology import Mesh
+from repro.simkit.message import Message
+from repro.simkit.network import MeshNetwork
+
+
+class MCCProtocolNode(
+    RoutingMixin, BoundaryMixin, IdentificationMixin, LabellingNode
+):
+    """A full protocol node: labelling, identification, walls, routing."""
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind == "LABEL":
+            LabellingNode.on_message(self, msg)
+        elif self.handle_identification(msg):
+            pass
+        elif self.handle_boundary(msg):
+            pass
+        elif self.handle_routing(msg):
+            pass
+
+    def on_timer(self, tag: str) -> None:
+        if tag == "corner-check":
+            IdentificationMixin.on_timer(self, tag)
+        else:
+            RoutingMixin.on_timer(self, tag)
+
+
+class DistributedMCCPipeline:
+    """Run the whole distributed stack over one fault pattern."""
+
+    def __init__(self, mesh: Mesh, fault_mask: np.ndarray, trace: bool = False):
+        self.mesh = mesh
+        self.net = MeshNetwork(
+            mesh, fault_mask, node_factory=MCCProtocolNode, trace=trace
+        )
+        self._query_ids = itertools.count(1)
+        self._phase_messages: dict[str, int] = {}
+        self._built = False
+
+    # -- phases ------------------------------------------------------------------
+
+    def build(self) -> "DistributedMCCPipeline":
+        """Phase 1+2: labelling, then identification and boundaries."""
+        if self._built:
+            return self
+        self.net.start()
+        self.net.run_to_quiescence()
+        self._phase_messages["labelling"] = self.net.stats.total_messages
+        for coord, node in self.net.nodes.items():
+            if not self.net.is_faulty(coord):
+                self.net.sim.schedule(0.0, node.start_identification)
+        self.net.run_to_quiescence()
+        self._phase_messages["identification+boundaries"] = (
+            self.net.stats.total_messages - self._phase_messages["labelling"]
+        )
+        self._built = True
+        return self
+
+    def route(self, source: Sequence[int], dest: Sequence[int]) -> dict:
+        """Phase 3: one routing query (canonical frame, safe endpoints).
+
+        Returns the query record: status in {"delivered", "infeasible",
+        "stuck"} plus the path taken.
+        """
+        if not self._built:
+            self.build()
+        source = tuple(int(c) for c in source)
+        dest = tuple(int(c) for c in dest)
+        if any(s > d for s, d in zip(source, dest)):
+            raise ValueError(f"canonical frame required: {source} !<= {dest}")
+        src_node = self.net.nodes[source]
+        if self.net.is_faulty(source) or src_node.store.get("label", SAFE) != SAFE:
+            raise ValueError(f"source {source} is not a safe node")
+        query_id = next(self._query_ids)
+        self.net.sim.schedule(0.0, lambda: src_node.start_query(query_id, dest))
+        self.net.run_to_quiescence()
+        record = dict(src_node.store["queries"][query_id])
+        record.setdefault("path", [source])
+        return record
+
+    # -- observers -----------------------------------------------------------------
+
+    def labels_grid(self) -> np.ndarray:
+        return labels_as_grid(self.net)
+
+    def identified_sections(self) -> dict[tuple, frozenset]:
+        """(plane, corner) -> shape, from every completed corner."""
+        out: dict[tuple, frozenset] = {}
+        for coord, marks in self.net.gather("corner_of", default=[]).items():
+            for key, shape in marks or []:
+                out[key] = shape
+        return out
+
+    def records_at(self, coord: Coord) -> list[dict]:
+        node = self.net.nodes[tuple(coord)]
+        return list(node.store.get("records", {}).values())
+
+    def message_counts(self) -> dict[str, int]:
+        counts = dict(self.net.stats.by_kind())
+        counts.update(
+            {f"phase[{k}]": v for k, v in self._phase_messages.items()}
+        )
+        return counts

@@ -1,0 +1,316 @@
+"""Distributed feasibility detection and routing (Algorithms 3 and 6).
+
+Canonical-frame protocol (the pipeline orients the mesh per pair):
+
+* **Detection** (step 1): the source launches detection messages that
+  hug the low faces of the RMP.  2-D: two greedy walks (prefer +Y along
+  x = xs detouring +X; prefer +X along y = ys detouring +Y).  3-D:
+  three surface floods ((−X): spread +Y/+Z detour +X; (−Y): +X/+Z
+  detour +Y; (−Z): +X/+Y detour +Z).  A message reaching its target
+  segment/surface sends ``DETECT_OK`` back along its trail; a 2-D walk
+  that gets cornered sends ``DETECT_FAIL``.  Flood failures are detected
+  by timeout at the source (a drained flood sends nothing).
+* **Routing** (step 2): ``ROUTE`` messages are forwarded hop by hop.
+  Candidate directions are the preferred (+) axes; a candidate is
+  dropped when the neighbor is known-unsafe (local labels) or when a
+  local boundary record marks the neighbor as forbidden while the
+  destination lies in the record's critical region — Algorithm 3 step
+  2(b) from strictly node-local state.  Ties go to the lowest axis
+  (deterministic; the engine-level tests cover other policies).
+
+Outcomes are deposited at the source node's store: ``"queries"`` maps a
+query id to ``"delivered"``, ``"infeasible"`` or ``"stuck"`` plus the
+path taken.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.labelling import SAFE
+from repro.mesh.coords import Coord
+from repro.simkit.message import Message
+from repro.simkit.node import NodeProcess
+
+_DETECT_TIMEOUT_FACTOR = 6.0
+
+
+class RoutingMixin(NodeProcess):
+    """Routing behaviour; layers on labelling + boundary mixins."""
+
+    # -- query bookkeeping (source side) ----------------------------------------
+
+    def start_query(self, query_id: int, dest: Coord) -> None:
+        """Begin feasibility detection for a routing toward ``dest``."""
+        queries = self.store.setdefault("queries", {})
+        ndim = self.network.mesh.ndim
+        expected = 2 if ndim == 2 else 3
+        queries[query_id] = {
+            "dest": tuple(dest),
+            "status": "detecting",
+            "oks": set(),
+            "expected": expected,
+            "path": [self.coord],
+        }
+        if tuple(dest) == self.coord:
+            queries[query_id]["status"] = "delivered"
+            return
+        if ndim == 2:
+            self._launch_detect_walks(query_id, tuple(dest))
+        else:
+            self._launch_detect_floods(query_id, tuple(dest))
+        timeout = _DETECT_TIMEOUT_FACTOR * (sum(self.network.mesh.shape) + 10)
+        self.set_timer(timeout, f"detect-timeout:{query_id}")
+
+    def on_timer(self, tag: str) -> None:
+        if tag.startswith("detect-timeout:"):
+            query_id = int(tag.split(":", 1)[1])
+            query = self.store.get("queries", {}).get(query_id)
+            if query is not None and query["status"] == "detecting":
+                query["status"] = "infeasible"
+            return
+        super().on_timer(tag)
+
+    # -- detection: 2-D greedy walks ------------------------------------------------
+
+    def _launch_detect_walks(self, query_id: int, dest: Coord) -> None:
+        for prefer_axis in (1, 0):
+            payload = {
+                "query": query_id,
+                "dest": list(dest),
+                "source": list(self.coord),
+                "prefer": prefer_axis,
+                "trail": [list(self.coord)],
+            }
+            self._detect_walk_step(payload)
+
+    def _detect_walk_step(self, payload: dict[str, Any]) -> None:
+        dest = tuple(payload["dest"])
+        prefer = payload["prefer"]
+        detour = 1 - prefer
+        if self.coord[prefer] == dest[prefer]:
+            self._detect_reply(payload, ok=True)
+            return
+        ahead = list(self.coord)
+        ahead[prefer] += 1
+        ahead = tuple(ahead)
+        if self.network.mesh.contains(ahead) and not self._is_unsafe(ahead):
+            self._detect_forward(payload, ahead)
+            return
+        side = list(self.coord)
+        side[detour] += 1
+        side = tuple(side)
+        if (
+            side[detour] > dest[detour]
+            or not self.network.mesh.contains(side)
+            or self._is_unsafe(side)
+        ):
+            self._detect_reply(payload, ok=False)
+            return
+        self._detect_forward(payload, side)
+
+    def _detect_forward(self, payload: dict[str, Any], dst: Coord) -> None:
+        payload = dict(payload)
+        payload["trail"] = payload["trail"] + [list(dst)]
+        ttl = 8 * (sum(self.network.mesh.shape) + 8)
+        self.send(dst, "DETECT", payload, ttl=ttl)
+
+    # -- detection: 3-D surface floods ------------------------------------------------
+
+    _SURFACES = {  # name: (spread axes, detour axis, target axis)
+        "-X": ((1, 2), 0, 1),
+        "-Y": ((0, 2), 1, 2),
+        "-Z": ((0, 1), 2, 0),
+    }
+
+    def _launch_detect_floods(self, query_id: int, dest: Coord) -> None:
+        for name in self._SURFACES:
+            payload = {
+                "query": query_id,
+                "dest": list(dest),
+                "source": list(self.coord),
+                "surface": name,
+                "trail": [list(self.coord)],
+            }
+            self._detect_flood_step(payload)
+
+    def _detect_flood_step(self, payload: dict[str, Any]) -> None:
+        dest = tuple(payload["dest"])
+        name = payload["surface"]
+        spread, detour, target = self._SURFACES[name]
+        seen = self.store.setdefault("_flood_seen", set())
+        key = (payload["query"], name)
+        if key in seen:
+            return
+        seen.add(key)
+        if self.coord[target] == dest[target]:
+            self._detect_reply(payload, ok=True)
+            return
+        moves = []
+        obstructed = False
+        for axis in spread:
+            ahead = list(self.coord)
+            ahead[axis] += 1
+            ahead = tuple(ahead)
+            if ahead[axis] > dest[axis]:
+                continue
+            if self._is_unsafe(ahead):
+                obstructed = True
+            else:
+                moves.append(ahead)
+        if obstructed:
+            ahead = list(self.coord)
+            ahead[detour] += 1
+            ahead = tuple(ahead)
+            if ahead[detour] <= dest[detour] and not self._is_unsafe(ahead):
+                moves.append(ahead)
+        for nxt in moves:
+            self._detect_forward(payload, nxt)
+
+    # -- detection replies -----------------------------------------------------------
+
+    def _detect_reply(self, payload: dict[str, Any], ok: bool) -> None:
+        kind = "DETECT_OK" if ok else "DETECT_FAIL"
+        trail = [tuple(c) for c in payload["trail"]]
+        reply = {
+            "query": payload["query"],
+            "which": payload.get("prefer", payload.get("surface")),
+            "trail": [list(c) for c in trail],
+        }
+        self._reply_step(kind, reply)
+
+    def _reply_step(self, kind: str, payload: dict[str, Any]) -> None:
+        trail = [tuple(c) for c in payload["trail"]]
+        if len(trail) <= 1:
+            if kind == "ROUTE_DONE":
+                self._absorb_route_done(payload)
+            else:
+                self._absorb_reply(kind, payload)
+            return
+        payload = dict(payload)
+        payload["trail"] = [list(c) for c in trail[:-1]]
+        self.send(trail[-2], kind, payload, ttl=None)
+
+    def _absorb_reply(self, kind: str, payload: dict[str, Any]) -> None:
+        query = self.store.get("queries", {}).get(payload["query"])
+        if query is None or query["status"] != "detecting":
+            return
+        if kind == "DETECT_FAIL":
+            query["status"] = "infeasible"
+            return
+        query["oks"].add(payload["which"])
+        if len(query["oks"]) >= query["expected"]:
+            query["status"] = "routing"
+            self._launch_route(payload["query"], query)
+
+    # -- routing ------------------------------------------------------------------------
+
+    def _launch_route(self, query_id: int, query: dict[str, Any]) -> None:
+        payload = {
+            "query": query_id,
+            "dest": list(query["dest"]),
+            "source": list(self.coord),
+            "path": [list(self.coord)],
+        }
+        self._route_step(payload)
+
+    def _route_step(self, payload: dict[str, Any]) -> None:
+        dest = tuple(payload["dest"])
+        if self.coord == dest:
+            self._route_done(payload, "delivered")
+            return
+        axis = self._route_choose(dest)
+        if axis is None:
+            self._route_done(payload, "stuck")
+            return
+        nxt = list(self.coord)
+        nxt[axis] += 1
+        nxt = tuple(nxt)
+        payload = dict(payload)
+        payload["path"] = payload["path"] + [list(nxt)]
+        self.send(nxt, "ROUTE", payload, ttl=None)
+
+    def _route_choose(self, dest: Coord) -> int | None:
+        """Algorithm 3 step 2 from node-local state only."""
+        records = list(self.store.get("records", {}).values())
+        for axis in range(len(self.coord)):
+            if self.coord[axis] >= dest[axis]:
+                continue
+            nxt = list(self.coord)
+            nxt[axis] += 1
+            nxt = tuple(nxt)
+            if not self.network.mesh.contains(nxt) or self._is_unsafe(nxt):
+                continue
+            if any(
+                self._record_forbids(rec, nxt, axis, dest) for rec in records
+            ):
+                continue
+            return axis
+        return None
+
+    def _record_forbids(
+        self, rec: dict[str, Any], neighbor: Coord, axis: int, dest: Coord
+    ) -> bool:
+        if rec["guard_axis"] != axis:
+            return False
+        shadow_axis = rec["shadow_axis"]
+        col_axis = rec["guard_axis"]
+        # Critical-region test for the destination.  Records are
+        # plane-local: off-plane axes must match the destination for the
+        # per-section critical region to contain it.
+        plane = rec["plane"]
+        for a in range(len(dest)):
+            if a not in plane and dest[a] != self.coord[a]:
+                return False
+        d_col = dest[col_axis]
+        bottoms = rec["bottoms"]
+        if d_col not in bottoms or dest[shadow_axis] <= bottoms[d_col]:
+            return False
+        # Forbidden-region test for the neighbor.
+        tops = rec["tops"]
+        n_col = neighbor[col_axis]
+        return n_col in tops and neighbor[shadow_axis] < tops[n_col]
+
+    def _route_done(self, payload: dict[str, Any], status: str) -> None:
+        deliveries = self.store.setdefault("deliveries", [])
+        deliveries.append(
+            {
+                "query": payload["query"],
+                "status": status,
+                "path": [tuple(c) for c in payload["path"]],
+            }
+        )
+        # Notify the source along the reverse path.
+        notice = {
+            "query": payload["query"],
+            "status": status,
+            "path": [list(c) for c in payload["path"]],
+            "trail": [list(c) for c in payload["path"]],
+        }
+        self._reply_step("ROUTE_DONE", notice)
+
+    def _absorb_route_done(self, payload: dict[str, Any]) -> None:
+        query = self.store.get("queries", {}).get(payload["query"])
+        if query is None:
+            return
+        query["status"] = payload["status"]
+        query["path"] = [tuple(c) for c in payload["path"]]
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def handle_routing(self, msg: Message) -> bool:
+        if msg.kind == "DETECT":
+            if self.store.get("label", SAFE) == SAFE:
+                if "surface" in msg.payload:
+                    self._detect_flood_step(msg.payload)
+                else:
+                    self._detect_walk_step(msg.payload)
+        elif msg.kind in ("DETECT_OK", "DETECT_FAIL"):
+            self._reply_step(msg.kind, msg.payload)
+        elif msg.kind == "ROUTE":
+            self._route_step(msg.payload)
+        elif msg.kind == "ROUTE_DONE":
+            self._reply_step("ROUTE_DONE", msg.payload)
+        else:
+            return False
+        return True

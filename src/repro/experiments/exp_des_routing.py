@@ -1,0 +1,81 @@
+"""Experiment T4: end-to-end routing on the discrete-event network.
+
+Routes random canonical-frame pairs through the *distributed* stack and
+scores delivery, minimality (hop count = Manhattan distance), agreement
+with the oracle, and per-query message cost (detection + routing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labelling import SAFE, label_grid
+from repro.distributed.pipeline import DistributedMCCPipeline
+from repro.experiments.workloads import random_fault_mask
+from repro.mesh.coords import manhattan
+from repro.mesh.topology import Mesh
+from repro.routing.oracle import minimal_path_exists
+from repro.util.records import ResultTable
+from repro.util.rng import SeedLike, make_rng, spawn_rngs
+
+
+def run_des_routing(
+    shape: tuple[int, ...],
+    fault_counts: list[int],
+    queries: int = 30,
+    trials: int = 3,
+    seed: SeedLike = 2005,
+) -> ResultTable:
+    """Sweep fault counts; distributed routing quality metrics."""
+    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
+    table = ResultTable(
+        title=f"T4 DES routing — {dims} mesh, {trials} patterns x {queries} queries"
+    )
+    mesh = Mesh(shape)
+    rngs = spawn_rngs(seed, len(fault_counts))
+    for count, rng in zip(fault_counts, rngs):
+        delivered = infeasible = stuck = oracle_ok = agree = 0
+        minimal = 0
+        msg_cost = 0.0
+        total = 0
+        for _ in range(trials):
+            mask = random_fault_mask(shape, count, rng=rng)
+            labelled = label_grid(mask)
+            safe = labelled.safe_mask
+            if not safe.any():
+                continue
+            pipe = DistributedMCCPipeline(mesh, mask).build()
+            cells = np.argwhere(safe)
+            for _ in range(queries):
+                i, j = rng.integers(0, cells.shape[0], size=2)
+                s = tuple(int(c) for c in np.minimum(cells[i], cells[j]))
+                d = tuple(int(c) for c in np.maximum(cells[i], cells[j]))
+                if not (safe[s] and safe[d]) or s == d:
+                    continue
+                total += 1
+                before = pipe.net.stats.total_messages
+                result = pipe.route(s, d)
+                msg_cost += pipe.net.stats.total_messages - before
+                want = minimal_path_exists(~mask, s, d)
+                oracle_ok += want
+                status = result["status"]
+                if status == "delivered":
+                    delivered += 1
+                    if len(result["path"]) - 1 == manhattan(s, d):
+                        minimal += 1
+                elif status == "infeasible":
+                    infeasible += 1
+                else:
+                    stuck += 1
+                agree += (status == "delivered") == want
+        table.add(
+            faults=count,
+            queries=total,
+            delivered=delivered / total if total else 0.0,
+            oracle=oracle_ok / total if total else 0.0,
+            agreement=agree / total if total else 0.0,
+            minimal_of_delivered=minimal / delivered if delivered else 1.0,
+            stuck=stuck,
+            msgs_per_query=msg_cost / total if total else 0.0,
+        )
+    return table

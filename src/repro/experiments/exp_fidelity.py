@@ -1,0 +1,118 @@
+"""Experiment T5: fidelity of the model's conditions and router.
+
+Quantifies the paper's exactness claims against the oracle:
+
+* ``cond_agree`` — Theorem 1/2 (merged Lemma 1) verdict vs monotone
+  reachability, over random safe pairs (property P2);
+* ``detect_agree`` — the operational detection walks vs the oracle;
+* ``router_complete`` — fraction of feasible pairs where *every*
+  adaptive choice sequence of the MCC-guided router reaches the
+  destination (adversarial stuck-freedom, property P3);
+* ``exclusion_exact`` — fraction of pairs where the MCC-guided
+  candidate sets equal the oracle candidate sets at every reachable
+  node ("fully adaptive": the model forbids nothing it shouldn't).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.conditions import ConditionEvaluator
+from repro.core.detection import detection_feasible
+from repro.experiments.workloads import random_fault_mask, sample_safe_pair
+from repro.mesh.orientation import Orientation
+from repro.routing.engine import AdaptiveRouter, explore_all_choices
+from repro.routing.oracle import minimal_path_exists, reverse_reachable
+from repro.util.records import ResultTable
+from repro.util.rng import SeedLike, spawn_rngs
+
+
+def _candidate_sets_match(
+    router: AdaptiveRouter, source: tuple, dest: tuple
+) -> bool:
+    """MCC candidate sets == oracle candidate sets on reachable cells."""
+    orientation = Orientation.for_pair(source, dest, router.fault_mask.shape)
+    s = orientation.map_coord(source)
+    d = orientation.map_coord(dest)
+    model = router._model_for(orientation)
+    open_mask = ~model.labelled.fault_mask
+    blocked = ~reverse_reachable(open_mask, d)
+    stack, seen = [s], {s}
+    while stack:
+        pos = stack.pop()
+        if pos == d:
+            continue
+        mcc_cands = set(model.candidates(pos, d))
+        oracle_cands = set()
+        for axis in range(len(pos)):
+            if pos[axis] >= d[axis]:
+                continue
+            nxt = list(pos)
+            nxt[axis] += 1
+            if not blocked[tuple(nxt)]:
+                oracle_cands.add(axis)
+        if mcc_cands != oracle_cands:
+            return False
+        for axis in mcc_cands:
+            nxt = list(pos)
+            nxt[axis] += 1
+            nxt = tuple(nxt)
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return True
+
+
+def run_fidelity(
+    shape: tuple[int, ...],
+    fault_counts: list[int],
+    pairs: int = 60,
+    trials: int = 5,
+    seed: SeedLike = 2005,
+) -> ResultTable:
+    """Sweep fault counts; agreement rates between model and oracle."""
+    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
+    table = ResultTable(
+        title=f"T5 model fidelity vs oracle — {dims} mesh"
+    )
+    rngs = spawn_rngs(seed, len(fault_counts))
+    for count, rng in zip(fault_counts, rngs):
+        cond_agree = detect_agree = total = 0
+        feasible_pairs = router_complete = exclusion_exact = 0
+        for _ in range(trials):
+            mask = random_fault_mask(shape, count, rng=rng)
+            evaluator = ConditionEvaluator(mask)
+            router = AdaptiveRouter(mask, mode="mcc")
+            for _ in range(pairs):
+                pair = sample_safe_pair(~mask, rng=rng, min_distance=2)
+                if pair is None or not evaluator.endpoint_safe(*pair):
+                    continue
+                source, dest = pair
+                total += 1
+                orientation = Orientation.for_pair(source, dest, shape)
+                want = minimal_path_exists(
+                    orientation.to_canonical(~mask),
+                    orientation.map_coord(source),
+                    orientation.map_coord(dest),
+                )
+                cond_agree += evaluator.exists(source, dest) == want
+                detect_agree += detection_feasible(mask, source, dest) == want
+                if want:
+                    feasible_pairs += 1
+                    ok, _ = explore_all_choices(router, source, dest)
+                    router_complete += ok
+                    exclusion_exact += _candidate_sets_match(router, source, dest)
+        table.add(
+            faults=count,
+            pairs=total,
+            cond_agree=cond_agree / total if total else 1.0,
+            detect_agree=detect_agree / total if total else 1.0,
+            feasible=feasible_pairs,
+            router_complete=(
+                router_complete / feasible_pairs if feasible_pairs else 1.0
+            ),
+            exclusion_exact=(
+                exclusion_exact / feasible_pairs if feasible_pairs else 1.0
+            ),
+        )
+    return table

@@ -1,0 +1,56 @@
+"""Experiment T3: message overhead of the distributed protocols.
+
+The point of the paper's "limited global information" design: protocol
+cost scales with the fault regions, not the mesh.  We run the full
+distributed pipeline (labelling → identification → boundaries) on
+random fault patterns and report messages per phase and per kind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.pipeline import DistributedMCCPipeline
+from repro.experiments.workloads import random_fault_mask
+from repro.mesh.topology import Mesh
+from repro.util.records import ResultTable
+from repro.util.rng import SeedLike, spawn_rngs
+
+
+def run_protocol_overhead(
+    shape: tuple[int, ...],
+    fault_counts: list[int],
+    trials: int = 5,
+    seed: SeedLike = 2005,
+) -> ResultTable:
+    """Sweep fault counts; mean protocol message counts per phase."""
+    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
+    table = ResultTable(
+        title=f"T3 protocol message overhead — {dims} mesh, {trials} trials"
+    )
+    mesh = Mesh(shape)
+    rngs = spawn_rngs(seed, len(fault_counts))
+    for count, rng in zip(fault_counts, rngs):
+        sums: dict[str, float] = {}
+        for _ in range(trials):
+            mask = random_fault_mask(shape, count, rng=rng)
+            pipe = DistributedMCCPipeline(mesh, mask).build()
+            for kind, n in pipe.message_counts().items():
+                sums[kind] = sums.get(kind, 0.0) + n
+        row = {k: v / trials for k, v in sorted(sums.items())}
+        table.add(
+            faults=count,
+            label=row.get("LABEL", 0.0),
+            edge=row.get("EDGE", 0.0),
+            ident=row.get("IDENT", 0.0) + row.get("IDENT_BACK", 0.0),
+            shape=row.get("SHAPE", 0.0),
+            wall=row.get("WALL", 0.0),
+            total=row.get("phase[labelling]", 0.0)
+            + row.get("phase[identification+boundaries]", 0.0),
+            per_node=(
+                row.get("phase[labelling]", 0.0)
+                + row.get("phase[identification+boundaries]", 0.0)
+            )
+            / mesh.size,
+        )
+    return table

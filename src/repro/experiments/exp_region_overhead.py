@@ -1,0 +1,75 @@
+"""Experiment T1: non-faulty nodes captured inside fault regions.
+
+The paper's headline motivation: the MCC model is the *ultimate minimal
+fault region*, so it should contain dramatically fewer non-faulty nodes
+than the rectangular/cuboid faulty blocks — and the gap should widen
+with fault rate and with dimension (block volume explodes in 3-D).
+
+For each (mesh, fault count) grid point we report, averaged over
+trials:
+
+* ``mcc_nonfaulty`` — non-faulty nodes labelled unsafe (useless +
+  can't-reach) in the canonical direction class;
+* ``rfb_nonfaulty`` — non-faulty nodes inside merged faulty blocks;
+* their ratio (RFB / MCC, the paper's improvement factor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.rfb import rfb_unsafe
+from repro.core.labelling import label_grid
+from repro.experiments.workloads import clustered_fault_mask, random_fault_mask
+from repro.util.records import ResultTable
+from repro.util.rng import SeedLike, spawn_rngs
+
+
+def region_overhead_once(fault_mask: np.ndarray) -> tuple[int, int]:
+    """(mcc_nonfaulty, rfb_nonfaulty) for one fault pattern."""
+    labelled = label_grid(fault_mask)
+    mcc_nonfaulty = int(labelled.unsafe_mask.sum() - fault_mask.sum())
+    rfb = rfb_unsafe(fault_mask)
+    rfb_nonfaulty = int(rfb.sum() - fault_mask.sum())
+    return mcc_nonfaulty, rfb_nonfaulty
+
+
+def run_region_overhead(
+    shape: tuple[int, ...],
+    fault_counts: list[int],
+    trials: int = 40,
+    seed: SeedLike = 2005,
+    clustered: bool = False,
+) -> ResultTable:
+    """Sweep fault counts; average region overhead per model."""
+    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
+    kind = "clustered" if clustered else "uniform"
+    table = ResultTable(
+        title=f"T1 region overhead — {dims} mesh, {kind} faults, {trials} trials"
+    )
+    rngs = spawn_rngs(seed, len(fault_counts))
+    for count, rng in zip(fault_counts, rngs):
+        mcc_total = rfb_total = 0
+        mcc_max = rfb_max = 0
+        for _ in range(trials):
+            if clustered:
+                mask = clustered_fault_mask(shape, count, rng=rng)
+            else:
+                mask = random_fault_mask(shape, count, rng=rng)
+            mcc, rfb = region_overhead_once(mask)
+            mcc_total += mcc
+            rfb_total += rfb
+            mcc_max = max(mcc_max, mcc)
+            rfb_max = max(rfb_max, rfb)
+        mcc_avg = mcc_total / trials
+        rfb_avg = rfb_total / trials
+        table.add(
+            faults=count,
+            fault_rate=count / float(np.prod(shape)),
+            mcc_nonfaulty=mcc_avg,
+            rfb_nonfaulty=rfb_avg,
+            mcc_max=mcc_max,
+            rfb_max=rfb_max,
+            rfb_over_mcc=(rfb_avg / mcc_avg) if mcc_avg else float("inf"),
+        )
+    return table

@@ -1,0 +1,114 @@
+"""Experiment T2: rate of successful minimal routing per fault model.
+
+For random safe (source, destination) pairs, a model "succeeds" when it
+admits a minimal path:
+
+* ``oracle`` — a monotone path through non-faulty nodes exists (ground
+  truth upper bound);
+* ``mcc``    — a monotone path through MCC-safe nodes exists; the paper
+  proves this equals the oracle (property P1/P2), so any daylight
+  between the two columns is a reproduction failure;
+* ``rfb``    — a monotone path outside the rectangular faulty blocks
+  exists (the best prior model);
+* ``ecube``  — the deterministic dimension-order path is fault-free.
+
+Pairs whose endpoints fall inside a model's fault region count as
+failures for that model (the model refuses the routing), which is
+exactly how the fault-block literature scores success rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.ecube import ecube_succeeds
+from repro.baselines.rfb import rfb_unsafe
+from repro.core.labelling import label_grid
+from repro.experiments.workloads import random_fault_mask, sample_safe_pair
+from repro.mesh.orientation import Orientation
+from repro.routing.oracle import minimal_path_exists
+from repro.util.records import ResultTable
+from repro.util.rng import SeedLike, spawn_rngs
+
+
+def _model_success(
+    fault_mask: np.ndarray,
+    unsafe_by_orientation: dict,
+    source: tuple,
+    dest: tuple,
+    model_unsafe,
+) -> bool:
+    """Monotone-path existence through the model's safe nodes."""
+    orientation = Orientation.for_pair(source, dest, fault_mask.shape)
+    key = orientation.signs
+    if key not in unsafe_by_orientation:
+        unsafe_by_orientation[key] = model_unsafe(orientation)
+    unsafe = unsafe_by_orientation[key]
+    s = orientation.map_coord(source)
+    d = orientation.map_coord(dest)
+    if unsafe[s] or unsafe[d]:
+        return False
+    return minimal_path_exists(~unsafe, s, d)
+
+
+def run_success_rate(
+    shape: tuple[int, ...],
+    fault_counts: list[int],
+    pairs: int = 200,
+    trials: int = 10,
+    seed: SeedLike = 2005,
+) -> ResultTable:
+    """Sweep fault counts; success rate per model over random pairs."""
+    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
+    table = ResultTable(
+        title=(
+            f"T2 minimal-routing success rate — {dims} mesh, "
+            f"{trials} fault patterns x {pairs} pairs"
+        )
+    )
+    rngs = spawn_rngs(seed, len(fault_counts))
+    for count, rng in zip(fault_counts, rngs):
+        wins = {"oracle": 0, "mcc": 0, "rfb": 0, "ecube": 0}
+        total = 0
+        for _ in range(trials):
+            mask = random_fault_mask(shape, count, rng=rng)
+            rfb = rfb_unsafe(mask)
+            mcc_by_o: dict = {}
+            rfb_by_o: dict = {}
+
+            def mcc_unsafe(orientation):
+                return label_grid(mask, orientation).unsafe_mask
+
+            def rfb_unsafe_oriented(orientation):
+                return orientation.to_canonical(rfb)
+
+            for _ in range(pairs):
+                pair = sample_safe_pair(~mask, rng=rng, min_distance=2)
+                if pair is None:
+                    continue
+                source, dest = pair
+                total += 1
+                orientation = Orientation.for_pair(source, dest, shape)
+                open_canon = orientation.to_canonical(~mask)
+                if minimal_path_exists(
+                    open_canon,
+                    orientation.map_coord(source),
+                    orientation.map_coord(dest),
+                ):
+                    wins["oracle"] += 1
+                if _model_success(mask, mcc_by_o, source, dest, mcc_unsafe):
+                    wins["mcc"] += 1
+                if _model_success(mask, rfb_by_o, source, dest, rfb_unsafe_oriented):
+                    wins["rfb"] += 1
+                if ecube_succeeds(mask, source, dest):
+                    wins["ecube"] += 1
+        table.add(
+            faults=count,
+            fault_rate=count / float(np.prod(shape)),
+            pairs=total,
+            oracle=wins["oracle"] / total if total else 0.0,
+            mcc=wins["mcc"] / total if total else 0.0,
+            rfb=wins["rfb"] / total if total else 0.0,
+            ecube=wins["ecube"] / total if total else 0.0,
+        )
+    return table

@@ -1,0 +1,83 @@
+"""One-call harness: regenerate the full evaluation (all tables).
+
+``run_all(profile="quick")`` keeps everything laptop-fast (seconds to a
+couple of minutes); ``profile="paper"`` uses the larger meshes and
+trial counts recorded in DESIGN.md's experiment index.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_des_routing import run_des_routing
+from repro.experiments.exp_fidelity import run_fidelity
+from repro.experiments.exp_protocol_overhead import run_protocol_overhead
+from repro.experiments.exp_region_overhead import run_region_overhead
+from repro.experiments.exp_success_rate import run_success_rate
+from repro.util.records import ResultTable
+
+PROFILES = {
+    "quick": {
+        "shape2d": (16, 16),
+        "shape3d": (8, 8, 8),
+        "faults2d": [2, 6, 12, 24],
+        "faults3d": [2, 8, 20, 40],
+        "trials": 8,
+        "pairs": 60,
+        "des_shape": (7, 7, 7),
+        "des_faults": [2, 6, 12],
+        "des_trials": 2,
+        "des_queries": 12,
+    },
+    "paper": {
+        "shape2d": (32, 32),
+        "shape3d": (16, 16, 16),
+        "faults2d": [10, 26, 51, 102, 154],
+        "faults3d": [20, 82, 205, 410],
+        "trials": 40,
+        "pairs": 300,
+        "des_shape": (10, 10, 10),
+        "des_faults": [5, 20, 50, 80],
+        "des_trials": 3,
+        "des_queries": 60,
+    },
+}
+
+
+def run_all(profile: str = "quick", seed: int = 2005) -> dict[str, ResultTable]:
+    """Regenerate T1–T5 for 2-D and 3-D; returns tables keyed by id."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; pick from {list(PROFILES)}")
+    p = PROFILES[profile]
+    tables: dict[str, ResultTable] = {}
+    tables["T1a"] = run_region_overhead(
+        p["shape2d"], p["faults2d"], trials=p["trials"], seed=seed
+    )
+    tables["T1b"] = run_region_overhead(
+        p["shape3d"], p["faults3d"], trials=p["trials"], seed=seed
+    )
+    tables["T2a"] = run_success_rate(
+        p["shape2d"], p["faults2d"], pairs=p["pairs"], trials=max(2, p["trials"] // 4),
+        seed=seed,
+    )
+    tables["T2b"] = run_success_rate(
+        p["shape3d"], p["faults3d"], pairs=p["pairs"], trials=max(2, p["trials"] // 4),
+        seed=seed,
+    )
+    tables["T3"] = run_protocol_overhead(
+        p["des_shape"], p["des_faults"], trials=p["des_trials"], seed=seed
+    )
+    tables["T4"] = run_des_routing(
+        p["des_shape"], p["des_faults"], queries=p["des_queries"],
+        trials=p["des_trials"], seed=seed,
+    )
+    tables["T5"] = run_fidelity(
+        p["shape3d"] if profile == "quick" else (10, 10, 10),
+        p["faults3d"][:3],
+        pairs=max(20, p["pairs"] // 5),
+        trials=max(2, p["trials"] // 4),
+        seed=seed,
+    )
+    return tables
+
+
+def render_all(tables: dict[str, ResultTable]) -> str:
+    return "\n\n".join(f"[{key}]\n{table.render()}" for key, table in tables.items())

@@ -1,0 +1,100 @@
+"""Workload generators: fault patterns and routing pairs.
+
+The paper's simulation injects random node faults into 3-D meshes and
+measures region overhead and minimal-routing success over random
+source/destination pairs.  Generators here cover that plus the
+clustered-fault variant used by ablation A3 (faults in real machines
+correlate spatially — a failed power rail or cooling zone).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.coords import manhattan
+from repro.util.rng import SeedLike, make_rng, sample_distinct
+
+
+def random_fault_mask(
+    shape: tuple[int, ...],
+    count: int,
+    rng: SeedLike = None,
+    protect: tuple[tuple[int, ...], ...] = (),
+) -> np.ndarray:
+    """Uniform random node faults; ``protect`` cells stay healthy."""
+    rng = make_rng(rng)
+    size = int(np.prod(shape))
+    protected = {int(np.ravel_multi_index(p, shape)) for p in protect}
+    if count > size - len(protected):
+        raise ValueError(f"cannot place {count} faults in mesh of {size}")
+    mask = np.zeros(shape, dtype=bool)
+    placed = 0
+    while placed < count:
+        draw = sample_distinct(rng, size, min(count - placed + len(protected), size))
+        for flat in draw:
+            if int(flat) in protected:
+                continue
+            coord = np.unravel_index(int(flat), shape)
+            if not mask[coord]:
+                mask[coord] = True
+                placed += 1
+                if placed == count:
+                    break
+    return mask
+
+
+def clustered_fault_mask(
+    shape: tuple[int, ...],
+    count: int,
+    clusters: int = 3,
+    spread: float = 1.5,
+    rng: SeedLike = None,
+    protect: tuple[tuple[int, ...], ...] = (),
+) -> np.ndarray:
+    """Spatially clustered faults: Gaussian blobs around random centers."""
+    rng = make_rng(rng)
+    protected = {tuple(p) for p in protect}
+    centers = [
+        tuple(int(rng.integers(0, k)) for k in shape) for _ in range(max(1, clusters))
+    ]
+    mask = np.zeros(shape, dtype=bool)
+    placed = 0
+    attempts = 0
+    while placed < count:
+        attempts += 1
+        if attempts > 200 * count + 1000:
+            raise RuntimeError("clustered fault generation did not converge")
+        center = centers[int(rng.integers(len(centers)))]
+        coord = tuple(
+            int(np.clip(round(rng.normal(c, spread)), 0, k - 1))
+            for c, k in zip(center, shape)
+        )
+        if coord in protected or mask[coord]:
+            continue
+        mask[coord] = True
+        placed += 1
+    return mask
+
+
+def sample_safe_pair(
+    safe_mask: np.ndarray,
+    rng: SeedLike = None,
+    min_distance: int = 1,
+    max_tries: int = 2000,
+) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+    """A random (source, dest) pair of safe nodes at distance >= minimum.
+
+    Returns None when no pair is found (degenerate masks) — callers
+    skip the trial rather than bias the statistics.
+    """
+    rng = make_rng(rng)
+    cells = np.argwhere(safe_mask)
+    if cells.shape[0] < 2:
+        return None
+    for _ in range(max_tries):
+        i, j = rng.integers(0, cells.shape[0], size=2)
+        a = tuple(int(c) for c in cells[i])
+        b = tuple(int(c) for c in cells[j])
+        if manhattan(a, b) >= min_distance:
+            return a, b
+    return None

@@ -1,0 +1,34 @@
+"""Mesh-topology substrate: k-ary n-D meshes, directions, regions, faults.
+
+The paper's networks are 2-D and 3-D meshes (Section 2): nodes addressed
+by integer coordinates, two nodes adjacent iff their addresses differ by
+one in exactly one dimension.  This package provides the topology, the
+direction/orientation algebra used by the direction-class-relative MCC
+model, axis-aligned region primitives, and fault-set handling.
+"""
+
+from repro.mesh.coords import (
+    Direction,
+    manhattan,
+    neighbors,
+    opposite,
+    step,
+)
+from repro.mesh.topology import Mesh, Mesh2D, Mesh3D
+from repro.mesh.orientation import Orientation
+from repro.mesh.regions import Box
+from repro.mesh.faults import FaultSet
+
+__all__ = [
+    "Direction",
+    "manhattan",
+    "neighbors",
+    "opposite",
+    "step",
+    "Mesh",
+    "Mesh2D",
+    "Mesh3D",
+    "Orientation",
+    "Box",
+    "FaultSet",
+]

@@ -1,0 +1,99 @@
+"""Fault sets: which nodes of a mesh are faulty.
+
+The paper treats link faults by disabling both endpoint nodes (Section
+1), so the canonical representation is a boolean node mask.  Generators
+for random fault patterns live in :mod:`repro.experiments.workloads`;
+this module is the representation plus basic editing, kept separate so
+the core model depends only on masks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.mesh.coords import Coord
+from repro.mesh.regions import cells_of_mask, mask_of_cells
+from repro.mesh.topology import Mesh
+
+
+class FaultSet:
+    """A mutable set of faulty nodes over a mesh."""
+
+    def __init__(self, mesh: Mesh, faulty: Iterable[Sequence[int]] = ()):
+        self.mesh = mesh
+        self._mask = np.zeros(mesh.shape, dtype=bool)
+        for coord in faulty:
+            self.add(coord)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_mask(mesh: Mesh, mask: np.ndarray) -> "FaultSet":
+        if mask.shape != mesh.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match mesh {mesh.shape}"
+            )
+        fs = FaultSet(mesh)
+        fs._mask = mask.astype(bool).copy()
+        return fs
+
+    # -- editing -------------------------------------------------------------
+
+    def add(self, coord: Sequence[int]) -> None:
+        self._mask[self.mesh.require(coord, "faulty node")] = True
+
+    def remove(self, coord: Sequence[int]) -> None:
+        self._mask[self.mesh.require(coord, "faulty node")] = False
+
+    def add_link_fault(self, a: Sequence[int], b: Sequence[int]) -> None:
+        """Paper's convention: a faulty link disables both endpoints."""
+        a = self.mesh.require(a, "link endpoint")
+        b = self.mesh.require(b, "link endpoint")
+        if b not in self.mesh.neighbors(a):
+            raise ValueError(f"{a} and {b} are not connected by a mesh link")
+        self._mask[a] = True
+        self._mask[b] = True
+
+    # -- queries ------------------------------------------------------------
+
+    def is_faulty(self, coord: Sequence[int]) -> bool:
+        return bool(self._mask[self.mesh.require(coord)])
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean grid (read-only view) of faulty nodes."""
+        view = self._mask.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def count(self) -> int:
+        return int(self._mask.sum())
+
+    @property
+    def rate(self) -> float:
+        return self.count / self.mesh.size
+
+    def cells(self) -> list[Coord]:
+        return cells_of_mask(self._mask)
+
+    def copy(self) -> "FaultSet":
+        return FaultSet.from_mask(self.mesh, self._mask)
+
+    def __contains__(self, coord) -> bool:
+        return self.mesh.contains(coord) and bool(self._mask[tuple(coord)])
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"FaultSet({self.mesh!r}, count={self.count})"
+
+
+def faults_from_cells(mesh: Mesh, cells: Sequence[Sequence[int]]) -> np.ndarray:
+    """Convenience: boolean fault mask from a coordinate list."""
+    for c in cells:
+        mesh.require(c, "faulty node")
+    return mask_of_cells(cells, mesh.shape)

@@ -1,0 +1,145 @@
+"""Axis-aligned region primitives: boxes and node-set masks.
+
+``Box`` is the closed integer box [lo, hi] per axis — the shape of the
+paper's RMP (region of minimal paths), of rectangular faulty blocks, and
+of the segments/surfaces in Theorems 1 and 2 (the notation
+``[0:xd, yd:yd, 0:zd]`` is exactly a degenerate Box).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.mesh.coords import Coord
+
+
+@dataclass(frozen=True)
+class Box:
+    """Closed integer box: lo[i] <= x[i] <= hi[i] on every axis."""
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo and hi must have the same dimension")
+        for l, h in zip(self.lo, self.hi):
+            if l > h:
+                raise ValueError(f"empty box: lo {self.lo} > hi {self.hi}")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def spanning(a: Sequence[int], b: Sequence[int]) -> "Box":
+        """Smallest box containing both points (the RMP of a routing)."""
+        lo = tuple(min(x, y) for x, y in zip(a, b))
+        hi = tuple(max(x, y) for x, y in zip(a, b))
+        return Box(lo, hi)
+
+    @staticmethod
+    def of_cells(cells: Sequence[Sequence[int]]) -> "Box":
+        """Bounding box of a non-empty cell collection."""
+        arr = np.asarray(list(cells), dtype=np.int64)
+        if arr.size == 0:
+            raise ValueError("bounding box of an empty cell set")
+        return Box(tuple(arr.min(axis=0).tolist()), tuple(arr.max(axis=0).tolist()))
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def extents(self) -> tuple[int, ...]:
+        """Number of lattice points per axis."""
+        return tuple(h - l + 1 for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        """Number of lattice points inside the box."""
+        return int(np.prod(self.extents))
+
+    def contains(self, coord: Sequence[int]) -> bool:
+        return len(coord) == self.ndim and all(
+            l <= c <= h for c, l, h in zip(coord, self.lo, self.hi)
+        )
+
+    def contains_box(self, other: "Box") -> bool:
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        return all(
+            max(sl, ol) <= min(sh, oh)
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        lo = tuple(max(sl, ol) for sl, ol in zip(self.lo, other.lo))
+        hi = tuple(min(sh, oh) for sh, oh in zip(self.hi, other.hi))
+        if any(l > h for l, h in zip(lo, hi)):
+            return None
+        return Box(lo, hi)
+
+    def union_box(self, other: "Box") -> "Box":
+        """Smallest box containing both (used by RFB merging)."""
+        lo = tuple(min(sl, ol) for sl, ol in zip(self.lo, other.lo))
+        hi = tuple(max(sh, oh) for sh, oh in zip(self.hi, other.hi))
+        return Box(lo, hi)
+
+    def inflate(self, margin: int) -> "Box":
+        """Grow by ``margin`` on every side (adjacency tests)."""
+        return Box(
+            tuple(l - margin for l in self.lo),
+            tuple(h + margin for h in self.hi),
+        )
+
+    def clip(self, shape: Sequence[int]) -> "Box | None":
+        """Intersect with the mesh (``[0, k-1]`` per axis)."""
+        mesh_box = Box((0,) * len(shape), tuple(k - 1 for k in shape))
+        return self.intersection(mesh_box)
+
+    # -- iteration / masks ---------------------------------------------------
+
+    def cells(self) -> Iterator[Coord]:
+        """Iterate all lattice points (row-major)."""
+        return itertools.product(
+            *(range(l, h + 1) for l, h in zip(self.lo, self.hi))
+        )
+
+    def slices(self) -> tuple[slice, ...]:
+        """Numpy basic-indexing slices selecting the box in a grid."""
+        return tuple(slice(l, h + 1) for l, h in zip(self.lo, self.hi))
+
+    def mask(self, shape: Sequence[int]) -> np.ndarray:
+        """Boolean grid of ``shape`` that is True inside (clipped) box."""
+        out = np.zeros(tuple(shape), dtype=bool)
+        clipped = self.clip(shape)
+        if clipped is not None:
+            out[clipped.slices()] = True
+        return out
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"{l}:{h}" for l, h in zip(self.lo, self.hi))
+        return f"Box[{spans}]"
+
+
+def mask_of_cells(cells: Sequence[Sequence[int]], shape: Sequence[int]) -> np.ndarray:
+    """Boolean grid with True exactly at ``cells``."""
+    out = np.zeros(tuple(shape), dtype=bool)
+    if len(cells):
+        arr = np.asarray(list(cells), dtype=np.int64)
+        out[tuple(arr.T)] = True
+    return out
+
+
+def cells_of_mask(mask: np.ndarray) -> list[Coord]:
+    """Sorted list of coordinates where ``mask`` is True."""
+    return [tuple(int(c) for c in row) for row in np.argwhere(mask)]

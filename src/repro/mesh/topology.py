@@ -1,0 +1,138 @@
+"""k-ary n-dimensional mesh topology.
+
+Section 2 of the paper: a k-ary n-D mesh has k^n nodes, interior degree
+2n, diameter (k-1)·n; nodes along each dimension form a linear array.
+``Mesh`` supports per-axis extents (k need not be uniform) because the
+experiments sweep rectangular meshes too.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.mesh.coords import Coord, Direction, all_directions, manhattan, step
+from repro.util.validation import check_positive, check_shape_member
+
+
+class Mesh:
+    """An n-dimensional mesh with extents ``shape`` (one per axis)."""
+
+    def __init__(self, shape: Sequence[int]):
+        shape = tuple(int(k) for k in shape)
+        if not shape:
+            raise ValueError("mesh needs at least one dimension")
+        for k in shape:
+            check_positive("mesh extent", k)
+        self.shape: tuple[int, ...] = shape
+        self.ndim: int = len(shape)
+
+    # -- basic queries ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes (k^n for the uniform case)."""
+        return int(np.prod(self.shape))
+
+    @property
+    def diameter(self) -> int:
+        """Network diameter: sum of (k_i - 1)."""
+        return sum(k - 1 for k in self.shape)
+
+    def contains(self, coord: Sequence[int]) -> bool:
+        """True iff ``coord`` addresses a node of this mesh."""
+        return len(coord) == self.ndim and all(
+            0 <= c < k for c, k in zip(coord, self.shape)
+        )
+
+    def require(self, coord: Sequence[int], name: str = "coord") -> Coord:
+        """Validate and canonicalize a node address."""
+        check_shape_member(name, coord, self.shape)
+        return tuple(int(c) for c in coord)
+
+    def degree(self, coord: Sequence[int]) -> int:
+        """Number of in-mesh neighbors (2n interior, less at faces)."""
+        coord = self.require(coord)
+        return sum(
+            (c + 1 < k) + (c - 1 >= 0) for c, k in zip(coord, self.shape)
+        )
+
+    # -- iteration -------------------------------------------------------
+
+    def nodes(self) -> Iterator[Coord]:
+        """Iterate over all node addresses in C (row-major) order."""
+        return itertools.product(*(range(k) for k in self.shape))
+
+    def neighbors(self, coord: Sequence[int]) -> list[Coord]:
+        """In-mesh neighbors of ``coord``."""
+        coord = self.require(coord)
+        out = []
+        for direction in all_directions(self.ndim):
+            nxt = step(coord, direction)
+            if self.contains(nxt):
+                out.append(nxt)
+        return out
+
+    def neighbor(self, coord: Sequence[int], direction: Direction) -> Coord | None:
+        """The neighbor along ``direction``, or None at a mesh face."""
+        coord = self.require(coord)
+        nxt = step(coord, direction)
+        return nxt if self.contains(nxt) else None
+
+    # -- index <-> coordinate --------------------------------------------
+
+    def index_of(self, coord: Sequence[int]) -> int:
+        """Row-major flat index of a node (used by the DES for node ids)."""
+        coord = self.require(coord)
+        return int(np.ravel_multi_index(coord, self.shape))
+
+    def coord_of(self, index: int) -> Coord:
+        """Inverse of :meth:`index_of`."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"node index {index} out of range [0, {self.size})")
+        return tuple(int(c) for c in np.unravel_index(index, self.shape))
+
+    # -- arrays ----------------------------------------------------------
+
+    def zeros(self, dtype=np.int8) -> np.ndarray:
+        """A node-indexed array of zeros with this mesh's shape."""
+        return np.zeros(self.shape, dtype=dtype)
+
+    def full(self, value, dtype=None) -> np.ndarray:
+        """A node-indexed array filled with ``value``."""
+        return np.full(self.shape, value, dtype=dtype)
+
+    # -- misc --------------------------------------------------------------
+
+    def distance(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Manhattan distance D(a, b) between two nodes."""
+        return manhattan(self.require(a, "a"), self.require(b, "b"))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Mesh) and self.shape == other.shape
+
+    def __hash__(self) -> int:
+        return hash(("Mesh", self.shape))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shape={self.shape})"
+
+
+class Mesh2D(Mesh):
+    """Convenience 2-D mesh: ``Mesh2D(kx, ky)``."""
+
+    def __init__(self, kx: int, ky: int | None = None):
+        super().__init__((kx, ky if ky is not None else kx))
+
+
+class Mesh3D(Mesh):
+    """Convenience 3-D mesh: ``Mesh3D(kx, ky, kz)``."""
+
+    def __init__(self, kx: int, ky: int | None = None, kz: int | None = None):
+        if (ky is None) != (kz is None):
+            raise ValueError("give either one extent (cubic) or all three")
+        if ky is None:
+            ky = kz = kx
+        super().__init__((kx, ky, kz))

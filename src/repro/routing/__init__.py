@@ -1,0 +1,29 @@
+"""Routing engines and the ground-truth minimal-path oracle."""
+
+from repro.routing.oracle import (
+    forward_reachable,
+    minimal_path_exists,
+    monotone_flood,
+    reverse_reachable,
+)
+from repro.routing.engine import AdaptiveRouter, RouteResult, route_adaptive
+from repro.routing.policies import (
+    DiagonalPolicy,
+    FixedOrderPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "monotone_flood",
+    "forward_reachable",
+    "reverse_reachable",
+    "minimal_path_exists",
+    "AdaptiveRouter",
+    "RouteResult",
+    "route_adaptive",
+    "DiagonalPolicy",
+    "FixedOrderPolicy",
+    "RandomPolicy",
+    "make_policy",
+]

@@ -1,0 +1,323 @@
+"""The adaptive minimal routing engine (Algorithm 3 / Algorithm 6 step 2).
+
+``AdaptiveRouter`` carries a fault-information model ("mcc", "rfb",
+"oracle", or "blind") for one fault pattern and routes arbitrary pairs:
+
+1. map the pair into its direction class (canonical frame);
+2. feasibility check (model condition; Theorem 1/2);
+3. hop-by-hop forwarding: a candidate direction survives when its
+   neighbor can still reach the destination through non-faulty,
+   non-useless nodes — the exact informational content of Algorithm 3
+   step 2(b)'s boundary records (see _ClassModel for why this is the
+   distilled form and how it relates to the walls);
+
+4. a pluggable policy picks among the survivors (step 2c).
+
+In "oracle" mode the exclusion rule is exact reverse reachability — the
+reference the MCC mode must match (property P3).  "blind" mode uses no
+model at all (baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.rfb import rfb_labelled
+from repro.core.components import extract_mccs
+from repro.core.labelling import FAULTY, USELESS, LabelledGrid, label_grid
+from repro.core.walls import Wall, build_walls
+from repro.mesh.coords import Coord, manhattan
+from repro.mesh.orientation import Orientation
+from repro.routing.oracle import minimal_path_exists, reverse_reachable
+from repro.routing.policies import FixedOrderPolicy, Policy
+
+
+@dataclass
+class RouteResult:
+    """Outcome of one routing attempt (mesh-frame coordinates)."""
+
+    delivered: bool
+    path: list[Coord]
+    feasible: bool
+    stuck_at: Coord | None = None
+    reason: str = ""
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def is_minimal(self) -> bool:
+        """Delivered with hop count equal to the Manhattan distance."""
+        return self.delivered and self.hops == manhattan(self.path[0], self.path[-1])
+
+
+class _ClassModel:
+    """Per-direction-class model state (canonical frame).
+
+    The exact informational content of the paper's distributed model is
+    property P1: a node is *useless* for this direction class iff every
+    minimal path through it dies, so monotone reachability over the
+    non-faulty, non-useless cells equals ground-truth reachability over
+    the non-faulty cells (validated in test_minimality).  The engine
+    evaluates the routing rule in that distilled form — one cached
+    reverse flood per destination — while the message-passing layer in
+    :mod:`repro.distributed` realizes the same decisions with literal
+    per-node boundary records.  The wall structures stay available for
+    the fidelity experiments (T5), which measure how closely the paper's
+    region-membership forms track this exact rule.
+
+    Can't-reach cells are *not* excluded here: they cannot be entered
+    from within the direction class (a safe node's positive neighbor is
+    never can't-reach — tested), so their exclusion is automatic, and
+    degenerate pairs whose RMP is a lower-dimensional slice may stand on
+    them legitimately.
+    """
+
+    def __init__(
+        self,
+        labelled: LabelledGrid,
+        walls: list[Wall],
+        labeller=label_grid,
+    ):
+        self.labelled = labelled
+        self.walls = walls
+        self.labeller = labeller
+        self.unsafe = labelled.unsafe_mask
+        status = labelled.status
+        self._blocked = (status == FAULTY) | (status == USELESS)
+        # Reverse-reachability through permitted cells, per destination.
+        self._reach: dict[Coord, np.ndarray] = {}
+
+    def _reach_ok(self, cell: Coord, dest: Coord) -> bool:
+        """Can ``cell`` still reach ``dest`` through permitted cells?"""
+        if dest not in self._reach:
+            open_mask = ~self._blocked
+            self._reach[dest] = reverse_reachable(open_mask, dest)
+        return bool(self._reach[dest][cell])
+
+    def allowed(self, cell: Coord, dest: Coord) -> bool:
+        """May a minimal routing toward ``dest`` step onto ``cell``?"""
+        if cell == dest:
+            return not self.labelled.fault_mask[cell]
+        return self._reach_ok(cell, dest)
+
+    def candidates(self, pos: Coord, dest: Coord) -> list[int]:
+        """Surviving preferred axes at ``pos`` for ``dest`` (canonical)."""
+        out = []
+        for axis in range(len(pos)):
+            if pos[axis] >= dest[axis]:
+                continue
+            nxt = list(pos)
+            nxt[axis] += 1
+            nxt = tuple(nxt)
+            if not self.allowed(nxt, dest):
+                continue
+            out.append(axis)
+        return out
+
+    def feasible(self, source: Coord, dest: Coord) -> bool:
+        """Theorem 1/2: a minimal path exists iff the model permits one."""
+        if source == dest:
+            return True
+        if self._blocked[source]:
+            return False
+        return self._reach_ok(source, dest)
+
+    def endpoints_safe(self, source: Coord, dest: Coord) -> bool:
+        return bool(
+            self.labelled.safe_mask[source] and self.labelled.safe_mask[dest]
+        )
+
+
+class AdaptiveRouter:
+    """Minimal adaptive router over one fault pattern.
+
+    ``mode`` selects the fault-information model:
+
+    * ``"mcc"``    — the paper's model (labelling + walls);
+    * ``"rfb"``    — same machinery over rectangular faulty blocks;
+    * ``"oracle"`` — exact reverse-reachability exclusions (reference);
+    * ``"blind"``  — no model; only faulty neighbors are avoided.
+    """
+
+    MODES = ("mcc", "rfb", "oracle", "blind")
+
+    def __init__(
+        self,
+        fault_mask: np.ndarray,
+        mode: str = "mcc",
+        policy: Policy | None = None,
+        max_hops: int | None = None,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown router mode {mode!r}; pick from {self.MODES}")
+        self.fault_mask = np.asarray(fault_mask, dtype=bool)
+        self.mode = mode
+        self.policy = policy or FixedOrderPolicy()
+        self.max_hops = max_hops
+        self._models: dict[tuple[int, ...], _ClassModel] = {}
+        # Oracle mode: reverse-reachability masks cached per (class, dest).
+        self._blocked_cache: dict[tuple[tuple[int, ...], Coord], np.ndarray] = {}
+
+    # -- model construction (cached per direction class) -------------------
+
+    def _model_for(self, orientation: Orientation) -> _ClassModel:
+        key = orientation.signs
+        if key not in self._models:
+            if self.mode == "rfb":
+                labelled = rfb_labelled(self.fault_mask, orientation)
+                labeller = rfb_labelled
+            else:
+                labelled = label_grid(self.fault_mask, orientation)
+                labeller = label_grid
+            if self.mode in ("mcc", "rfb"):
+                walls = build_walls(extract_mccs(labelled))
+            else:
+                walls = []
+            self._models[key] = _ClassModel(labelled, walls, labeller)
+        return self._models[key]
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, source: Sequence[int], dest: Sequence[int]) -> RouteResult:
+        """Route one packet; returns the mesh-frame path and verdicts."""
+        source = tuple(int(c) for c in source)
+        dest = tuple(int(c) for c in dest)
+        if self.fault_mask[source] or self.fault_mask[dest]:
+            raise ValueError("endpoints must be non-faulty")
+        orientation = Orientation.for_pair(source, dest, self.fault_mask.shape)
+        s = orientation.map_coord(source)
+        d = orientation.map_coord(dest)
+        model = self._model_for(orientation)
+
+        if self.mode in ("mcc", "rfb"):
+            if not model.endpoints_safe(s, d):
+                return RouteResult(
+                    delivered=False,
+                    path=[source],
+                    feasible=False,
+                    reason="endpoint inside fault region",
+                )
+            if not model.feasible(s, d):
+                return RouteResult(
+                    delivered=False, path=[source], feasible=False, reason="infeasible"
+                )
+        elif self.mode == "oracle":
+            open_mask = ~model.labelled.fault_mask
+            if not minimal_path_exists(open_mask, s, d):
+                return RouteResult(
+                    delivered=False, path=[source], feasible=False, reason="infeasible"
+                )
+        # blind mode has no feasibility check: it just tries.
+
+        pos = s
+        canonical_path = [pos]
+        budget = self.max_hops if self.max_hops is not None else manhattan(s, d) + 1
+        while pos != d:
+            if len(canonical_path) - 1 >= budget:
+                return self._fail(orientation, canonical_path, "hop budget exceeded")
+            candidates = self._candidates(model, pos, d)
+            if not candidates:
+                return self._fail(orientation, canonical_path, "stuck")
+            axis = self.policy.choose(candidates, pos, d)
+            if axis not in candidates:
+                raise RuntimeError(f"policy chose non-candidate axis {axis}")
+            nxt = list(pos)
+            nxt[axis] += 1
+            pos = tuple(nxt)
+            canonical_path.append(pos)
+        path = [orientation.unmap_coord(c) for c in canonical_path]
+        return RouteResult(delivered=True, path=path, feasible=True)
+
+    def _candidates(self, model: _ClassModel, pos: Coord, dest: Coord) -> list[int]:
+        if self.mode in ("mcc", "rfb"):
+            return model.candidates(pos, dest)
+        if self.mode == "oracle":
+            key = (model.labelled.orientation.signs, dest)
+            if key not in self._blocked_cache:
+                open_mask = ~model.labelled.fault_mask
+                self._blocked_cache[key] = ~reverse_reachable(open_mask, dest)
+            blocked = self._blocked_cache[key]
+            out = []
+            for axis in range(len(pos)):
+                if pos[axis] >= dest[axis]:
+                    continue
+                nxt = list(pos)
+                nxt[axis] += 1
+                if not blocked[tuple(nxt)]:
+                    out.append(axis)
+            return out
+        # blind
+        out = []
+        for axis in range(len(pos)):
+            if pos[axis] >= dest[axis]:
+                continue
+            nxt = list(pos)
+            nxt[axis] += 1
+            if not model.labelled.fault_mask[tuple(nxt)]:
+                out.append(axis)
+        return out
+
+    def _fail(
+        self, orientation: Orientation, canonical_path: list[Coord], reason: str
+    ) -> RouteResult:
+        path = [orientation.unmap_coord(c) for c in canonical_path]
+        return RouteResult(
+            delivered=False,
+            path=path,
+            feasible=True,
+            stuck_at=path[-1],
+            reason=reason,
+        )
+
+
+def route_adaptive(
+    fault_mask: np.ndarray,
+    source: Sequence[int],
+    dest: Sequence[int],
+    mode: str = "mcc",
+    policy: Policy | None = None,
+) -> RouteResult:
+    """One-shot convenience wrapper around :class:`AdaptiveRouter`."""
+    return AdaptiveRouter(fault_mask, mode=mode, policy=policy).route(source, dest)
+
+
+def explore_all_choices(
+    router: AdaptiveRouter, source: Sequence[int], dest: Sequence[int]
+) -> tuple[bool, int]:
+    """Adversarial exploration: follow *every* candidate at every node.
+
+    Returns (all_executions_deliver, number_of_distinct_nodes_explored).
+    Used by the P3 property tests: under the MCC model, any adaptive
+    choice sequence must end at the destination when the feasibility
+    check passed.
+    """
+    source = tuple(int(c) for c in source)
+    dest = tuple(int(c) for c in dest)
+    orientation = Orientation.for_pair(source, dest, router.fault_mask.shape)
+    s = orientation.map_coord(source)
+    d = orientation.map_coord(dest)
+    model = router._model_for(orientation)
+    seen: set[Coord] = set()
+    ok = True
+    stack = [s]
+    seen.add(s)
+    while stack:
+        pos = stack.pop()
+        if pos == d:
+            continue
+        candidates = router._candidates(model, pos, d)
+        if not candidates:
+            ok = False
+            continue
+        for axis in candidates:
+            nxt = list(pos)
+            nxt[axis] += 1
+            nxt = tuple(nxt)
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return ok, len(seen)

@@ -1,0 +1,60 @@
+"""Deterministic binary-heap event queue.
+
+Events at equal timestamps fire in insertion order (a monotone sequence
+number breaks ties), so simulations are bit-for-bit reproducible — the
+property every debugging session and every regression test relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class EventQueue:
+    """Min-heap of (time, seq, action) with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._seq = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def push(self, time: float, action: Callable[[], Any]) -> int:
+        """Schedule ``action`` at ``time``; returns a cancellable handle."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (float(time), seq, action))
+        return seq
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled event (lazy removal on pop)."""
+        self._cancelled.add(handle)
+
+    def pop(self) -> tuple[float, Callable[[], Any]] | None:
+        """Earliest live event, or None when empty."""
+        while self._heap:
+            time, seq, action = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            return time, action
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event without removing it."""
+        while self._heap:
+            time, seq, _ = self._heap[0]
+            if seq in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(seq)
+                continue
+            return time
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,46 @@
+"""Message record exchanged between neighboring nodes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mesh.coords import Coord
+
+_MSG_IDS = itertools.count()
+
+
+@dataclass
+class Message:
+    """One neighbor-to-neighbor message.
+
+    ``kind`` is the protocol-level type (``"STATUS"``, ``"IDENT_CW"``,
+    ``"BOUNDARY"``, ``"ROUTE"``, ...); ``payload`` the protocol data.
+    ``hops`` counts network traversals (protocol overhead accounting,
+    experiment T3); ``ttl`` implements the paper's time-to-live discard
+    for identification messages in unstable regions.
+    """
+
+    kind: str
+    src: Coord
+    dst: Coord
+    payload: dict[str, Any] = field(default_factory=dict)
+    hops: int = 0
+    ttl: int | None = None
+    msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
+
+    def expired(self) -> bool:
+        return self.ttl is not None and self.hops > self.ttl
+
+    def forwarded(self, new_dst: Coord) -> "Message":
+        """Copy for the next hop (same identity, one more hop)."""
+        return Message(
+            kind=self.kind,
+            src=self.dst,
+            dst=new_dst,
+            payload=self.payload,
+            hops=self.hops + 1,
+            ttl=self.ttl,
+            msg_id=self.msg_id,
+        )

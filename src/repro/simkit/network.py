@@ -1,0 +1,111 @@
+"""The mesh network: delivers neighbor messages between node processes.
+
+Faulty nodes are dead: they neither send nor receive (fail-stop model).
+Messages addressed to a faulty or off-mesh node are dropped and counted
+— protocols must use :meth:`NodeProcess.neighbor_faulty` to avoid that,
+exactly as real routers consult link liveness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Type
+
+import numpy as np
+
+from repro.mesh.coords import Coord, manhattan
+from repro.mesh.topology import Mesh
+from repro.simkit.message import Message
+from repro.simkit.node import NodeProcess
+from repro.simkit.simulator import Simulator
+from repro.simkit.stats import StatsCollector
+from repro.simkit.trace import TraceLog
+
+
+class MeshNetwork:
+    """Node processes over a mesh with unit-latency neighbor links."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        fault_mask: np.ndarray,
+        node_factory: Callable[["MeshNetwork", Coord], NodeProcess] | None = None,
+        link_delay: float = 1.0,
+        trace: bool = False,
+    ):
+        if fault_mask.shape != mesh.shape:
+            raise ValueError(
+                f"fault mask {fault_mask.shape} does not match mesh {mesh.shape}"
+            )
+        self.mesh = mesh
+        self.fault_mask = np.asarray(fault_mask, dtype=bool).copy()
+        self.sim = Simulator()
+        self.stats = StatsCollector()
+        self.trace = TraceLog() if trace else None
+        self.link_delay = link_delay
+        factory = node_factory or NodeProcess
+        self.nodes: dict[Coord, NodeProcess] = {
+            coord: factory(self, coord) for coord in mesh.nodes()
+        }
+
+    # -- fault handling ------------------------------------------------------
+
+    def is_faulty(self, coord: Coord) -> bool:
+        return bool(self.fault_mask[tuple(coord)])
+
+    def inject_fault(self, coord: Coord) -> None:
+        """Kill a node mid-simulation (dynamic-fault experiments)."""
+        self.fault_mask[tuple(coord)] = True
+
+    # -- message plumbing ------------------------------------------------------
+
+    def transmit(self, msg: Message) -> None:
+        """Queue a message for delivery after one link delay."""
+        if not self.mesh.contains(msg.dst) or manhattan(msg.src, msg.dst) != 1:
+            raise ValueError(
+                f"{msg.kind}: {msg.src} -> {msg.dst} is not a mesh link"
+            )
+        if self.is_faulty(msg.src):
+            # A node that died mid-action sends nothing (fail-stop).
+            self.stats.bump("dropped[src-faulty]")
+            return
+        self.stats.on_send(msg.kind)
+        self.sim.schedule(self.link_delay, lambda: self._deliver(msg))
+
+    def _deliver(self, msg: Message) -> None:
+        if self.is_faulty(msg.dst):
+            self.stats.bump("dropped[dst-faulty]")
+            return
+        if msg.expired():
+            self.stats.bump("dropped[ttl]")
+            return
+        if self.trace is not None:
+            self.trace.record(self.sim.now, msg.kind, msg.src, msg.dst)
+        self.nodes[msg.dst].on_message(msg)
+
+    # -- execution --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every live node's ``on_start`` at t=0."""
+        for coord, node in self.nodes.items():
+            if not self.is_faulty(coord):
+                self.sim.schedule(0.0, node.on_start)
+
+    def run(self, **kwargs) -> int:
+        return self.sim.run(**kwargs)
+
+    def run_to_quiescence(self, max_events: int = 10_000_000) -> int:
+        return self.sim.run_to_quiescence(max_events=max_events)
+
+    # -- bulk state access (for validation against centralized results) ----------
+
+    def gather(self, key: str, default=None) -> dict[Coord, object]:
+        """Collect one store entry from every live node (test helper).
+
+        This is *observer* access for validation — protocols themselves
+        never call it.
+        """
+        return {
+            coord: node.store.get(key, default)
+            for coord, node in self.nodes.items()
+            if not self.is_faulty(coord)
+        }

@@ -1,0 +1,78 @@
+"""Node process base class for the message-passing protocols."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.mesh.coords import Coord, Direction
+from repro.simkit.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkit.network import MeshNetwork
+
+
+class NodeProcess:
+    """One mesh node's protocol state machine.
+
+    Subclasses override :meth:`on_start` and :meth:`on_message`.  The
+    only I/O primitives are neighbor sends and local timers — the
+    paper's system model enforced by construction.  ``store`` is the
+    node-local key/value memory where protocols deposit labels, shapes,
+    and boundary records; routing decisions may read only the local
+    store and neighbor statuses.
+    """
+
+    def __init__(self, network: "MeshNetwork", coord: Coord):
+        self.network = network
+        self.coord = coord
+        self.store: dict[str, Any] = {}
+
+    # -- framework callbacks ------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once at simulation start (t=0)."""
+
+    def on_message(self, msg: Message) -> None:
+        """Called on each delivered message."""
+
+    def on_timer(self, tag: str) -> None:
+        """Called when a timer set via :meth:`set_timer` fires."""
+
+    # -- I/O primitives ------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return not self.network.is_faulty(self.coord)
+
+    def neighbors(self) -> list[Coord]:
+        """All in-mesh neighbor coordinates (alive or not)."""
+        return self.network.mesh.neighbors(self.coord)
+
+    def neighbor(self, direction: Direction) -> Coord | None:
+        return self.network.mesh.neighbor(self.coord, direction)
+
+    def neighbor_faulty(self, direction: Direction) -> bool | None:
+        """Local fault detection: None when off-mesh, else liveness.
+
+        Hardware provides this via link-level heartbeat; the network
+        exposes it as node-local information (the paper assumes "each
+        node knows only the status of its neighbors").
+        """
+        n = self.neighbor(direction)
+        return None if n is None else self.network.is_faulty(n)
+
+    def send(self, dst: Coord, kind: str, payload: dict | None = None, ttl: int | None = None) -> None:
+        """Send one message to a neighbor (asserts mesh adjacency)."""
+        msg = Message(kind=kind, src=self.coord, dst=dst, payload=payload or {}, ttl=ttl)
+        self.network.transmit(msg)
+
+    def forward(self, msg: Message, dst: Coord) -> None:
+        """Forward a message to the next neighbor, bumping its hop count."""
+        self.network.transmit(msg.forwarded(dst))
+
+    def set_timer(self, delay: float, tag: str) -> int:
+        return self.network.sim.schedule(delay, lambda: self._fire_timer(tag))
+
+    def _fire_timer(self, tag: str) -> None:
+        if self.alive:
+            self.on_timer(tag)

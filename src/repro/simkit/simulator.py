@@ -1,0 +1,70 @@
+"""The simulation executive: clock + event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simkit.event_queue import EventQueue
+
+
+class Simulator:
+    """Drives an :class:`EventQueue` with a monotone simulation clock."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, action: Callable[[], Any]) -> int:
+        """Run ``action`` after ``delay`` time units; returns a handle."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.now + delay, action)
+
+    def cancel(self, handle: int) -> None:
+        self.queue.cancel(handle)
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Process events in time order.
+
+        Stops when the queue drains, when the next event would pass
+        ``until``, or after ``max_events`` (a runaway-protocol guard).
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time, action = self.queue.pop()
+            self.now = max(self.now, time)
+            action()
+            processed += 1
+        self.events_processed += processed
+        return processed
+
+    def run_to_quiescence(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely (protocol convergence).
+
+        Raises ``RuntimeError`` if the event budget is exhausted — a
+        protocol that never quiesces is a bug worth failing loudly on.
+        """
+        processed = self.run(max_events=max_events)
+        if self.queue.peek_time() is not None:
+            raise RuntimeError(
+                f"simulation did not quiesce within {max_events} events "
+                f"(t={self.now}, pending={len(self.queue)})"
+            )
+        return processed
+
+    @property
+    def idle(self) -> bool:
+        return self.queue.peek_time() is None

@@ -1,0 +1,39 @@
+"""Protocol statistics: per-kind message counters and scalar gauges."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+
+class StatsCollector:
+    """Counts messages/hops per message kind and arbitrary named scalars."""
+
+    def __init__(self) -> None:
+        self.messages_sent: Counter[str] = Counter()
+        self.hops: Counter[str] = Counter()
+        self.gauges: dict[str, float] = defaultdict(float)
+
+    def on_send(self, kind: str) -> None:
+        self.messages_sent[kind] += 1
+        self.hops[kind] += 1
+
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        self.gauges[name] += amount
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_sent.values())
+
+    def by_kind(self) -> dict[str, int]:
+        return dict(self.messages_sent)
+
+    def summary(self) -> dict[str, float]:
+        out: dict[str, float] = {f"msgs[{k}]": v for k, v in self.messages_sent.items()}
+        out["msgs[total]"] = self.total_messages
+        out.update(self.gauges)
+        return out
+
+    def reset(self) -> None:
+        self.messages_sent.clear()
+        self.hops.clear()
+        self.gauges.clear()

@@ -1,0 +1,45 @@
+"""Optional event tracing for protocol debugging and the demo examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str
+    src: tuple
+    dst: tuple
+    note: str = ""
+
+
+class TraceLog:
+    """Bounded in-memory trace of message deliveries."""
+
+    def __init__(self, limit: int = 100_000):
+        self.limit = limit
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, src, dst, note: str = "") -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, kind, tuple(src), tuple(dst), note))
+
+    def filter(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def render(self, max_lines: int = 50) -> str:
+        lines = [
+            f"t={e.time:8.2f}  {e.kind:<12} {e.src} -> {e.dst}  {e.note}"
+            for e in self.events[:max_lines]
+        ]
+        if len(self.events) > max_lines:
+            lines.append(f"... {len(self.events) - max_lines} more events")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,101 @@
+"""Parameter sweeps and result tables for the experiment harness.
+
+``ResultTable`` is intentionally tiny: rows are dictionaries, columns are
+discovered from the rows, and rendering produces the fixed-width text
+tables that ``EXPERIMENTS.md`` and the benchmark harness print.  No
+pandas dependency — the offline environment ships numpy/scipy only.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class ParamSweep:
+    """A cartesian sweep over named parameter axes.
+
+    >>> sweep = ParamSweep({"k": [8, 16], "faults": [1, 2, 3]})
+    >>> len(list(sweep))
+    6
+    """
+
+    axes: Mapping[str, Sequence[Any]]
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+
+class ResultTable:
+    """An append-only table of experiment rows with text/CSV rendering."""
+
+    def __init__(self, title: str = "", columns: Sequence[str] | None = None):
+        self.title = title
+        self._columns: list[str] = list(columns) if columns else []
+        self.rows: list[dict[str, Any]] = []
+
+    def add(self, **row: Any) -> None:
+        """Append one row; unseen keys become new columns (ordered)."""
+        for key in row:
+            if key not in self._columns:
+                self._columns.append(key)
+        self.rows.append(row)
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column (missing cells become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def _format_cell(self, value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """Fixed-width text rendering, suitable for terminal output."""
+        header = self._columns
+        body = [[self._format_cell(r.get(c)) for c in header] for r in self.rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in body)) if body else len(h)
+            for i, h in enumerate(header)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (header + rows)."""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self._columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: row.get(c, "") for c in self._columns})
+        return buf.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultTable({self.title!r}, rows={len(self.rows)})"

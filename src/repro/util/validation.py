@@ -1,0 +1,40 @@
+"""Small argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def check_positive(name: str, value: int | float, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` > 0 (or >= 0 when not strict)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def check_index(name: str, value: int, size: int) -> None:
+    """Raise ``IndexError`` unless ``0 <= value < size``."""
+    if not 0 <= value < size:
+        raise IndexError(f"{name}={value!r} out of range [0, {size})")
+
+
+def check_shape_member(name: str, coord: Sequence[int], shape: Sequence[int]) -> None:
+    """Raise unless ``coord`` is a valid node address for a mesh of ``shape``."""
+    if len(coord) != len(shape):
+        raise ValueError(
+            f"{name}={tuple(coord)!r} has {len(coord)} coordinates; "
+            f"mesh is {len(shape)}-dimensional"
+        )
+    for axis, (c, k) in enumerate(zip(coord, shape)):
+        if not 0 <= c < k:
+            raise IndexError(
+                f"{name}={tuple(coord)!r} outside mesh: axis {axis} "
+                f"requires 0 <= {c} < {k}"
+            )

@@ -1,0 +1,5 @@
+"""ASCII visualization of meshes, fault regions, walls, and routes."""
+
+from repro.viz.ascii_art import render_grid, render_slices, render_route
+
+__all__ = ["render_grid", "render_slices", "render_route"]

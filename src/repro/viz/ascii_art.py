@@ -1,0 +1,106 @@
+"""ASCII renderings of labelled meshes (paper Figures 1, 5 style).
+
+Conventions (canonical frame, +Y up, +X right):
+
+* ``#`` faulty, ``u`` useless, ``c`` can't-reach, ``.`` safe
+* overlays can add ``S``/``D`` endpoints, ``*`` route cells, ``|``/``-``
+  wall records, ``F`` forbidden region, ``Q`` critical region.
+
+These renderings regenerate the paper's illustrative figures in text
+form (experiment IDs F1, F3–F8) and double as debugging tools.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.labelling import CANT_REACH, FAULTY, LabelledGrid, USELESS
+
+_STATUS_CHARS = {0: ".", FAULTY: "#", USELESS: "u", CANT_REACH: "c"}
+
+
+def render_grid(
+    status: np.ndarray | LabelledGrid,
+    overlays: Mapping[tuple[int, int], str] | None = None,
+    legend: bool = True,
+) -> str:
+    """Render a 2-D status grid with the origin at the bottom-left."""
+    if isinstance(status, LabelledGrid):
+        status = status.status
+    if status.ndim != 2:
+        raise ValueError("render_grid draws 2-D grids; use render_slices for 3-D")
+    overlays = dict(overlays or {})
+    kx, ky = status.shape
+    lines = []
+    for y in range(ky - 1, -1, -1):
+        row = []
+        for x in range(kx):
+            row.append(overlays.get((x, y), _STATUS_CHARS[int(status[x, y])]))
+        lines.append(f"{y:3d} " + " ".join(row))
+    lines.append("    " + " ".join(f"{x % 10}" for x in range(kx)))
+    if legend:
+        lines.append("    (# faulty, u useless, c can't-reach, . safe)")
+    return "\n".join(lines)
+
+
+def render_slices(
+    status: np.ndarray | LabelledGrid,
+    axis: int = 2,
+    keep: Sequence[int] | None = None,
+    overlays: Mapping[tuple[int, int, int], str] | None = None,
+) -> str:
+    """Render a 3-D grid as 2-D sections along ``axis``.
+
+    ``keep`` restricts to specific section indices (default: sections
+    containing any unsafe node — the interesting ones).
+    """
+    if isinstance(status, LabelledGrid):
+        status = status.status
+    if status.ndim != 3:
+        raise ValueError("render_slices draws 3-D grids")
+    overlays = dict(overlays or {})
+    if keep is None:
+        keep = [
+            k
+            for k in range(status.shape[axis])
+            if (np.take(status, k, axis=axis) != 0).any()
+        ]
+    blocks = []
+    axis_name = "XYZ"[axis]
+    for k in keep:
+        section = np.take(status, k, axis=axis)
+        plane_overlays = {}
+        for coord, ch in overlays.items():
+            if coord[axis] == k:
+                uv = tuple(c for i, c in enumerate(coord) if i != axis)
+                plane_overlays[uv] = ch
+        blocks.append(
+            f"-- section {axis_name} = {k} --\n"
+            + render_grid(section, plane_overlays, legend=False)
+        )
+    return "\n".join(blocks)
+
+
+def render_route(
+    status: np.ndarray | LabelledGrid,
+    path: Sequence[Sequence[int]],
+    source: Sequence[int] | None = None,
+    dest: Sequence[int] | None = None,
+) -> str:
+    """Render a grid with a route overlaid (works for 2-D and 3-D)."""
+    if isinstance(status, LabelledGrid):
+        status = status.status
+    overlays = {tuple(c): "*" for c in path}
+    if path:
+        source = source or path[0]
+        dest = dest or path[-1]
+    if source is not None:
+        overlays[tuple(source)] = "S"
+    if dest is not None:
+        overlays[tuple(dest)] = "D"
+    if status.ndim == 2:
+        return render_grid(status, overlays)
+    keep = sorted({c[2] for c in overlays})
+    return render_slices(status, axis=2, keep=keep, overlays=overlays)

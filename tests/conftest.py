@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.orientation import Orientation
+from repro.routing.oracle import minimal_path_exists
+
+
+def random_mask(rng: np.random.Generator, shape, count) -> np.ndarray:
+    """A random fault mask with exactly ``count`` faults."""
+    size = int(np.prod(shape))
+    count = min(count, size)
+    mask = np.zeros(shape, dtype=bool)
+    idx = rng.choice(size, count, replace=False)
+    mask[np.unravel_index(idx, shape)] = True
+    return mask
+
+
+def oracle_feasible(fault_mask: np.ndarray, source, dest) -> bool:
+    """Ground truth: monotone path avoiding faulty nodes (any pair)."""
+    orientation = Orientation.for_pair(source, dest, fault_mask.shape)
+    return minimal_path_exists(
+        orientation.to_canonical(~fault_mask),
+        orientation.map_coord(source),
+        orientation.map_coord(dest),
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20050610)
+
+
+@pytest.fixture
+def fig5_mask() -> np.ndarray:
+    """The paper's Figure 5 fault pattern in a 10^3 mesh."""
+    mask = np.zeros((10, 10, 10), dtype=bool)
+    for cell in [
+        (5, 5, 6), (6, 5, 5), (5, 6, 5), (6, 7, 5),
+        (7, 6, 5), (5, 4, 7), (4, 5, 7), (7, 8, 4),
+    ]:
+        mask[cell] = True
+    return mask

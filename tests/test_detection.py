@@ -1,0 +1,107 @@
+"""Tests for the operational feasibility detection (Algorithms 3/6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detection import detect_canonical, detection_feasible
+from repro.core.labelling import label_grid
+from repro.mesh.regions import mask_of_cells
+from tests.conftest import oracle_feasible, random_mask
+
+
+class TestWalks2D:
+    def test_fault_free_trivially_feasible(self):
+        lab = label_grid(np.zeros((8, 8), dtype=bool))
+        report = detect_canonical(lab.unsafe_mask, (0, 0), (7, 7))
+        assert report.feasible
+        assert set(report.messages.values()) == {True}
+
+    def test_trails_recorded(self):
+        lab = label_grid(mask_of_cells([(0, 4)], (8, 8)))
+        report = detect_canonical(lab.unsafe_mask, (0, 0), (7, 7))
+        trail = report.trails["+Y along x=xs"]
+        assert trail[0] == (0, 0)
+        # The +Y walk detours +X around the fault at (0,4).
+        assert (1, 3) in trail or (1, 4) in trail
+
+    def test_barrier_returns_no(self):
+        cells = [(0, 6), (1, 5), (2, 4)]
+        lab = label_grid(mask_of_cells(cells, (9, 9)))
+        assert not lab.unsafe_mask[0, 0] and not lab.unsafe_mask[2, 8]
+        report = detect_canonical(lab.unsafe_mask, (0, 0), (2, 8))
+        assert not report.feasible
+
+    def test_unsafe_endpoint_rejected(self):
+        lab = label_grid(mask_of_cells([(0, 0)], (5, 5)))
+        with pytest.raises(ValueError):
+            detect_canonical(lab.unsafe_mask, (0, 0), (4, 4))
+
+    def test_non_canonical_rejected(self):
+        lab = label_grid(np.zeros((5, 5), dtype=bool))
+        with pytest.raises(ValueError):
+            detect_canonical(lab.unsafe_mask, (3, 3), (0, 0))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_oracle_2d(self, seed):
+        """The two greedy walks decide exactly minimal-path existence."""
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (7, 7), int(rng.integers(1, 12)))
+        lab = label_grid(mask)
+        for _ in range(8):
+            s = tuple(int(v) for v in rng.integers(0, 7, 2))
+            d = tuple(int(v) for v in rng.integers(0, 7, 2))
+            if mask[s] or mask[d]:
+                continue
+            from repro.mesh.orientation import Orientation
+
+            o = Orientation.for_pair(s, d, (7, 7))
+            lab_o = label_grid(mask, o)
+            cs, cd = o.map_coord(s), o.map_coord(d)
+            if lab_o.unsafe_mask[cs] or lab_o.unsafe_mask[cd]:
+                continue
+            assert detection_feasible(mask, s, d) == oracle_feasible(mask, s, d)
+
+
+class TestFloods3D:
+    def test_fig5_feasible(self, fig5_mask):
+        assert detection_feasible(fig5_mask, (0, 0, 0), (9, 9, 9))
+
+    def test_column_trap_detected(self):
+        mask = mask_of_cells([(2, 2, 3)], (6, 6, 6))
+        assert not detection_feasible(mask, (2, 2, 0), (2, 2, 5))
+
+    def test_three_surfaces_reported(self):
+        lab = label_grid(np.zeros((5, 5, 5), dtype=bool))
+        report = detect_canonical(lab.unsafe_mask, (0, 0, 0), (4, 4, 4))
+        assert set(report.messages) == {
+            "(-X)-surface", "(-Y)-surface", "(-Z)-surface"
+        }
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_oracle_3d(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (5, 5, 5), int(rng.integers(1, 14)))
+        lab = label_grid(mask)
+        for _ in range(6):
+            s = tuple(int(v) for v in rng.integers(0, 5, 3))
+            d = tuple(int(v) for v in rng.integers(0, 5, 3))
+            if mask[s] or mask[d]:
+                continue
+            from repro.mesh.orientation import Orientation
+
+            o = Orientation.for_pair(s, d, (5, 5, 5))
+            lab_o = label_grid(mask, o)
+            if lab_o.unsafe_mask[o.map_coord(s)] or lab_o.unsafe_mask[o.map_coord(d)]:
+                continue
+            assert detection_feasible(mask, s, d) == oracle_feasible(mask, s, d), (
+                s, d, np.argwhere(mask).tolist()
+            )
+
+    def test_unsupported_dimension(self):
+        lab = label_grid(np.zeros((3, 3, 3, 3), dtype=bool))
+        with pytest.raises(NotImplementedError):
+            detect_canonical(lab.unsafe_mask, (0,) * 4, (2,) * 4)

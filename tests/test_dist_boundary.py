@@ -1,0 +1,116 @@
+"""Property P4 (boundaries): wall records match the centralized walls."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import extract_mccs
+from repro.core.labelling import label_grid
+from repro.core.walls import build_walls
+from repro.distributed.pipeline import DistributedMCCPipeline
+from repro.mesh.regions import mask_of_cells
+from repro.mesh.topology import Mesh2D, Mesh3D
+from tests.conftest import random_mask
+
+
+def _record_guard_cells(pipe, shape):
+    """(cell, guard_axis) pairs where a distributed record actually
+    forbids stepping onto a *safe* in-shadow neighbor."""
+    out = set()
+    for coord in np.ndindex(shape):
+        for rec in pipe.records_at(coord):
+            axis = rec["guard_axis"]
+            nxt = list(coord)
+            nxt[axis] += 1
+            nxt = tuple(nxt)
+            if not all(0 <= c < s for c, s in zip(nxt, shape)):
+                continue
+            col_axis = [a for a in rec["plane"] if a != rec["shadow_axis"]][0]
+            col = nxt[col_axis]
+            if col in rec["tops"] and nxt[rec["shadow_axis"]] < rec["tops"][col]:
+                out.add((coord, axis))
+    return out
+
+
+class TestWallRecords2D:
+    def test_singleton_wall_lines(self):
+        mask = mask_of_cells([(4, 4)], (9, 9))
+        pipe = DistributedMCCPipeline(Mesh2D(9), mask).build()
+        # Y-wall: column 3, rows 0..3; X-wall: row 3, columns 0..3.
+        for y in range(4):
+            recs = pipe.records_at((3, y))
+            assert any(r["shadow_axis"] == 1 for r in recs), y
+        for x in range(4):
+            recs = pipe.records_at((x, 3))
+            assert any(r["shadow_axis"] == 0 for r in recs), x
+
+    def test_records_carry_shape_info(self):
+        mask = mask_of_cells([(4, 4), (4, 5)], (9, 9))
+        pipe = DistributedMCCPipeline(Mesh2D(9), mask).build()
+        rec = next(
+            r for r in pipe.records_at((3, 2)) if r["shadow_axis"] == 1
+        )
+        assert rec["tops"] == {4: 5}
+        assert rec["bottoms"] == {4: 4}
+
+    def test_chain_merge_in_records(self):
+        # M1 at (5,5); M2 at (4,2) obstructing M1's Y-wall.
+        mask = mask_of_cells([(5, 5), (4, 2)], (10, 10))
+        pipe = DistributedMCCPipeline(Mesh2D(10), mask).build()
+        # Below M2, the M1 wall records must carry the merged shadow.
+        merged = [
+            r
+            for r in pipe.records_at((3, 1))
+            if r["shadow_axis"] == 1 and 5 in r["tops"] and 4 in r["tops"]
+        ]
+        assert merged, pipe.records_at((3, 1))
+        assert merged[0]["tops"][5] == 5
+        assert merged[0]["tops"][4] == 2
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_guard_coverage_matches_centralized(self, seed, count):
+        """Wherever the centralized wall guards a safe shadow entry for
+        an identified MCC, some distributed record guards it too."""
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (9, 9), count)
+        lab = label_grid(mask)
+        mccs = extract_mccs(lab)
+        walls = build_walls(mccs)
+        pipe = DistributedMCCPipeline(Mesh2D(9), mask).build()
+        identified = set()
+        for shape in pipe.identified_sections().values():
+            identified |= set(map(tuple, shape))
+        dist_guards = _record_guard_cells(pipe, (9, 9))
+        for wall in walls:
+            cells = set(
+                map(tuple, extract_mccs(lab)[wall.mcc_index].cells.tolist())
+            )
+            if not cells <= identified:
+                continue  # unidentified (border/corner cases): skip
+            for axis, recs in wall.records.items():
+                for cell in map(tuple, np.argwhere(recs)):
+                    nxt = list(cell)
+                    nxt[axis] += 1
+                    nxt = tuple(nxt)
+                    if lab.safe_mask[nxt]:
+                        assert (cell, axis) in dist_guards, (cell, axis)
+
+
+class TestWallRecords3D:
+    def test_fig5_z_guard_for_singleton(self, fig5_mask):
+        pipe = DistributedMCCPipeline(Mesh3D(10), fig5_mask).build()
+        # The (7,8,4) fault's Z-shadow runs below z=4 at (x,y)=(7,8);
+        # +X guard records live at (6,8,z<4) in the XZ plane y=8.
+        recs = pipe.records_at((6, 8, 2))
+        assert any(
+            r["shadow_axis"] == 2 and r["guard_axis"] == 0 for r in recs
+        )
+
+    def test_record_planes_consistent(self, fig5_mask):
+        pipe = DistributedMCCPipeline(Mesh3D(10), fig5_mask).build()
+        for coord in [(6, 8, 2), (4, 4, 6), (4, 5, 6)]:
+            for rec in pipe.records_at(coord):
+                assert rec["shadow_axis"] in rec["plane"]
+                assert rec["guard_axis"] in rec["plane"]
+                assert rec["shadow_axis"] != rec["guard_axis"]

@@ -1,0 +1,128 @@
+"""Property P4 (routing): the DES routing agrees with the oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labelling import SAFE, label_grid
+from repro.distributed.pipeline import DistributedMCCPipeline
+from repro.mesh.coords import is_monotone_path, manhattan
+from repro.mesh.regions import mask_of_cells
+from repro.mesh.topology import Mesh2D, Mesh3D
+from repro.routing.oracle import minimal_path_exists
+from tests.conftest import random_mask
+
+
+class TestRouting2D:
+    def test_clear_mesh_minimal(self):
+        pipe = DistributedMCCPipeline(Mesh2D(8), np.zeros((8, 8), dtype=bool))
+        result = pipe.route((1, 1), (6, 5))
+        assert result["status"] == "delivered"
+        path = result["path"]
+        assert path[0] == (1, 1) and path[-1] == (6, 5)
+        assert len(path) - 1 == 9
+        assert is_monotone_path(path)
+
+    def test_same_node_trivially_delivered(self):
+        pipe = DistributedMCCPipeline(Mesh2D(5), np.zeros((5, 5), dtype=bool))
+        assert pipe.route((2, 2), (2, 2))["status"] == "delivered"
+
+    def test_infeasible_detected(self):
+        mask = mask_of_cells([(2, 3)], (6, 6))
+        pipe = DistributedMCCPipeline(Mesh2D(6), mask)
+        result = pipe.route((2, 0), (2, 5))  # column trapped
+        assert result["status"] == "infeasible"
+
+    def test_route_around_block(self):
+        mask = mask_of_cells([(3, 3), (3, 4), (4, 3), (4, 4)], (9, 9))
+        pipe = DistributedMCCPipeline(Mesh2D(9), mask)
+        result = pipe.route((0, 0), (8, 8))
+        assert result["status"] == "delivered"
+        assert len(result["path"]) - 1 == 16
+        assert not any(mask[c] for c in result["path"])
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_matches_oracle_random(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (9, 9), int(rng.integers(1, 10)))
+        lab = label_grid(mask)
+        if lab.status[0, 0] != SAFE:
+            return
+        pipe = DistributedMCCPipeline(Mesh2D(9), mask).build()
+        for _ in range(6):
+            d = tuple(int(v) for v in rng.integers(0, 9, 2))
+            if lab.status[d] != SAFE:
+                continue
+            want = minimal_path_exists(~mask, (0, 0), d)
+            result = pipe.route((0, 0), d)
+            assert (result["status"] == "delivered") == want, (d, result)
+            if want:
+                assert len(result["path"]) - 1 == manhattan((0, 0), d)
+
+
+class TestRouting3D:
+    def test_fig5_routes_minimally(self, fig5_mask):
+        pipe = DistributedMCCPipeline(Mesh3D(10), fig5_mask)
+        result = pipe.route((0, 0, 0), (9, 9, 9))
+        assert result["status"] == "delivered"
+        assert len(result["path"]) - 1 == 27
+        assert not any(fig5_mask[c] for c in result["path"])
+
+    def test_through_the_thick_of_it(self, fig5_mask):
+        pipe = DistributedMCCPipeline(Mesh3D(10), fig5_mask)
+        result = pipe.route((4, 4, 4), (8, 8, 8))
+        assert result["status"] == "delivered"
+        assert len(result["path"]) - 1 == 12
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=4, deadline=None)
+    def test_matches_oracle_random_3d(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (6, 6, 6), int(rng.integers(2, 10)))
+        lab = label_grid(mask)
+        if lab.status[0, 0, 0] != SAFE:
+            return
+        pipe = DistributedMCCPipeline(Mesh3D(6), mask).build()
+        for _ in range(4):
+            d = tuple(int(v) for v in rng.integers(0, 6, 3))
+            if lab.status[d] != SAFE:
+                continue
+            want = minimal_path_exists(~mask, (0, 0, 0), d)
+            result = pipe.route((0, 0, 0), d)
+            assert (result["status"] == "delivered") == want, (d, result)
+            if want:
+                assert len(result["path"]) - 1 == manhattan((0, 0, 0), d)
+
+
+class TestPipelinePlumbing:
+    def test_non_canonical_rejected(self):
+        pipe = DistributedMCCPipeline(Mesh2D(5), np.zeros((5, 5), dtype=bool))
+        try:
+            pipe.route((3, 3), (1, 1))
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_unsafe_source_rejected(self):
+        mask = mask_of_cells([(0, 0)], (5, 5))
+        pipe = DistributedMCCPipeline(Mesh2D(5), mask)
+        try:
+            pipe.route((0, 0), (4, 4))
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_message_counts_phased(self, fig5_mask):
+        pipe = DistributedMCCPipeline(Mesh3D(10), fig5_mask).build()
+        counts = pipe.message_counts()
+        assert counts["phase[labelling]"] > 0
+        assert counts["phase[identification+boundaries]"] > 0
+
+    def test_multiple_queries_reuse_network(self):
+        pipe = DistributedMCCPipeline(Mesh2D(6), np.zeros((6, 6), dtype=bool))
+        r1 = pipe.route((0, 0), (5, 5))
+        r2 = pipe.route((1, 0), (4, 4))
+        assert r1["status"] == r2["status"] == "delivered"

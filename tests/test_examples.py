@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts run and produce their key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "minimal=True" in out
+        assert "MCCs: 2 (paper: 2)" in out
+
+    def test_paper_figures(self):
+        out = run_example("paper_figures.py")
+        assert "FIGURE 5" in out
+        assert "MCC count (paper grouping): 2" in out
+        assert "feasible=False" in out  # the NO detection case
+
+    def test_distributed_protocol_demo(self):
+        out = run_example("distributed_protocol_demo.py")
+        assert "matches centralized labelling: True" in out
+        assert "delivered" in out

@@ -1,0 +1,108 @@
+"""Unit tests for FaultSet and fault generators."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    clustered_fault_mask,
+    random_fault_mask,
+    sample_safe_pair,
+)
+from repro.mesh.faults import FaultSet, faults_from_cells
+from repro.mesh.topology import Mesh2D, Mesh3D
+
+
+class TestFaultSet:
+    def test_add_remove(self):
+        fs = FaultSet(Mesh2D(4), [(1, 1)])
+        assert fs.is_faulty((1, 1)) and fs.count == 1
+        fs.remove((1, 1))
+        assert fs.count == 0
+
+    def test_out_of_mesh_rejected(self):
+        with pytest.raises(IndexError):
+            FaultSet(Mesh2D(4), [(4, 0)])
+
+    def test_link_fault_disables_both_endpoints(self):
+        # Paper Section 1: link faults treated as node faults.
+        fs = FaultSet(Mesh3D(4))
+        fs.add_link_fault((1, 1, 1), (1, 1, 2))
+        assert fs.is_faulty((1, 1, 1)) and fs.is_faulty((1, 1, 2))
+
+    def test_link_fault_requires_adjacency(self):
+        fs = FaultSet(Mesh2D(4))
+        with pytest.raises(ValueError):
+            fs.add_link_fault((0, 0), (1, 1))
+
+    def test_mask_read_only(self):
+        fs = FaultSet(Mesh2D(4), [(0, 0)])
+        with pytest.raises(ValueError):
+            fs.mask[0, 0] = False
+
+    def test_rate_and_contains(self):
+        fs = FaultSet(Mesh2D(4), [(0, 0), (1, 1)])
+        assert fs.rate == 2 / 16
+        assert (0, 0) in fs and (2, 2) not in fs
+        assert len(fs) == 2
+
+    def test_copy_is_independent(self):
+        fs = FaultSet(Mesh2D(4), [(0, 0)])
+        fs2 = fs.copy()
+        fs2.add((1, 1))
+        assert fs.count == 1 and fs2.count == 2
+
+    def test_from_mask_shape_check(self):
+        with pytest.raises(ValueError):
+            FaultSet.from_mask(Mesh2D(4), np.zeros((3, 3), dtype=bool))
+
+    def test_faults_from_cells(self):
+        mask = faults_from_cells(Mesh2D(4), [(1, 2)])
+        assert mask[1, 2] and mask.sum() == 1
+
+
+class TestGenerators:
+    def test_random_exact_count(self, rng):
+        mask = random_fault_mask((8, 8), 10, rng=rng)
+        assert mask.sum() == 10
+
+    def test_random_respects_protect(self, rng):
+        for _ in range(20):
+            mask = random_fault_mask((4, 4), 14, rng=rng, protect=((0, 0), (3, 3)))
+            assert not mask[0, 0] and not mask[3, 3]
+
+    def test_random_too_many_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_fault_mask((2, 2), 5, rng=rng)
+
+    def test_clustered_exact_count(self, rng):
+        mask = clustered_fault_mask((10, 10), 12, clusters=2, rng=rng)
+        assert mask.sum() == 12
+
+    def test_clustered_is_more_concentrated(self, rng):
+        # Mean pairwise distance of clustered faults < uniform faults.
+        def mean_dist(mask):
+            cells = np.argwhere(mask)
+            diffs = np.abs(cells[:, None, :] - cells[None, :, :]).sum(-1)
+            return diffs.mean()
+
+        uniform = np.mean([
+            mean_dist(random_fault_mask((16, 16), 20, rng=rng)) for _ in range(5)
+        ])
+        clustered = np.mean([
+            mean_dist(clustered_fault_mask((16, 16), 20, clusters=1, rng=rng))
+            for _ in range(5)
+        ])
+        assert clustered < uniform
+
+    def test_sample_safe_pair_properties(self, rng):
+        safe = np.ones((6, 6), dtype=bool)
+        safe[2, 2] = False
+        for _ in range(20):
+            pair = sample_safe_pair(safe, rng=rng, min_distance=3)
+            assert pair is not None
+            a, b = pair
+            assert safe[a] and safe[b]
+            assert sum(abs(x - y) for x, y in zip(a, b)) >= 3
+
+    def test_sample_safe_pair_degenerate(self, rng):
+        assert sample_safe_pair(np.zeros((3, 3), dtype=bool), rng=rng) is None

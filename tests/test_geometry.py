@@ -1,0 +1,77 @@
+"""Property tests for MCC geometry (Wang's shape theorems)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import extract_mccs
+from repro.core.geometry import (
+    axis_intervals,
+    bounding_box,
+    has_sw_corner_cell,
+    is_orthogonally_convex,
+    sections_along,
+)
+from repro.core.labelling import label_grid
+from repro.mesh.regions import mask_of_cells
+from tests.conftest import random_mask
+
+
+class TestMonotonePolygonProperty:
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 14))
+    @settings(max_examples=50, deadline=None)
+    def test_2d_mccs_are_orthogonally_convex(self, seed, count):
+        """Wang [7]: every 2-D MCC is a rectilinear monotone polygon —
+        each row/column intersection is one contiguous interval."""
+        rng = np.random.default_rng(seed)
+        lab = label_grid(random_mask(rng, (9, 9), count))
+        for mcc in extract_mccs(lab):
+            assert is_orthogonally_convex(mcc.mask(lab.shape))
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 14))
+    @settings(max_examples=50, deadline=None)
+    def test_2d_mccs_contain_sw_corner_cell(self, seed, count):
+        """The SW-fill guarantees (xmin, ymin) ∈ MCC — what makes the
+        initialization corner unique."""
+        rng = np.random.default_rng(seed)
+        lab = label_grid(random_mask(rng, (9, 9), count))
+        for mcc in extract_mccs(lab):
+            assert has_sw_corner_cell(mcc.mask(lab.shape))
+
+    def test_3d_sections_may_have_holes(self, fig5_mask):
+        """3-D sections are *not* convex (the paper's point in Fig. 5)."""
+        lab = label_grid(fig5_mask)
+        big = max(extract_mccs(lab, connectivity=2), key=lambda m: m.size)
+        section_z5 = sections_along(big.mask(lab.shape), 2)[5]
+        assert not is_orthogonally_convex(section_z5)
+
+
+class TestHelpers:
+    def test_axis_intervals(self):
+        mask = mask_of_cells([(1, 1), (1, 3), (2, 2)], (5, 5))
+        rows = axis_intervals(mask, axis=1)
+        assert rows[(1,)] == (1, 3)
+        assert rows[(2,)] == (2, 2)
+
+    def test_is_orthogonally_convex_examples(self):
+        assert is_orthogonally_convex(mask_of_cells([(1, 1), (1, 2)], (4, 4)))
+        assert not is_orthogonally_convex(
+            mask_of_cells([(1, 1), (1, 3)], (4, 4))
+        )
+
+    def test_sections_along(self, fig5_mask):
+        lab = label_grid(fig5_mask)
+        xy = sections_along(lab.unsafe_mask, 2)
+        assert set(xy) == {4, 5, 6, 7}
+        yz = sections_along(lab.unsafe_mask, 0)
+        assert 5 in yz
+
+    def test_bounding_box(self):
+        mask = mask_of_cells([(1, 2), (3, 1)], (5, 5))
+        assert bounding_box(mask).lo == (1, 1)
+        assert bounding_box(mask).hi == (3, 2)
+        assert bounding_box(np.zeros((3, 3), dtype=bool)) is None
+
+    def test_empty_region_is_convex(self):
+        assert is_orthogonally_convex(np.zeros((4, 4), dtype=bool))
+        assert has_sw_corner_cell(np.zeros((4, 4), dtype=bool))

@@ -1,0 +1,188 @@
+"""Tests for the unsafe-node labelling (Algorithms 1 and 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labelling import (
+    CANT_REACH,
+    FAULTY,
+    SAFE,
+    USELESS,
+    _closure,
+    _closure_reference,
+    label_grid,
+    label_mesh,
+    unsafe_mask,
+)
+from repro.mesh.orientation import Orientation
+from repro.mesh.regions import mask_of_cells
+from repro.mesh.topology import Mesh2D
+from tests.conftest import random_mask
+
+
+class TestRules2D:
+    def test_fault_free_all_safe(self):
+        lab = label_grid(np.zeros((6, 6), dtype=bool))
+        assert (lab.status == SAFE).all()
+
+    def test_single_fault_no_fill(self):
+        lab = label_grid(mask_of_cells([(3, 3)], (7, 7)))
+        assert lab.unsafe_mask.sum() == 1
+
+    def test_sw_diagonal_pair_glues_via_useless(self):
+        # Faults at (3,4),(4,3): node (3,3) has +X and +Y blocked.
+        lab = label_grid(mask_of_cells([(3, 4), (4, 3)], (7, 7)))
+        assert lab.status[3, 3] == USELESS
+
+    def test_ne_diagonal_pair_glues_via_cant_reach(self):
+        lab = label_grid(mask_of_cells([(3, 4), (4, 3)], (7, 7)))
+        assert lab.status[4, 4] == CANT_REACH
+
+    def test_ne_diagonal_pair_does_not_glue(self):
+        # (3,3),(4,4): no node has both + (or both -) neighbors blocked.
+        lab = label_grid(mask_of_cells([(3, 3), (4, 4)], (7, 7)))
+        assert lab.unsafe_mask.sum() == 2
+
+    def test_staircase_fills_recursively(self):
+        # Anti-diagonal staircase: the SW pocket fills layer by layer.
+        lab = label_grid(mask_of_cells([(2, 4), (3, 3), (4, 2)], (7, 7)))
+        assert lab.status[2, 3] == USELESS
+        assert lab.status[3, 2] == USELESS
+        assert lab.status[2, 2] == USELESS
+        assert lab.status[3, 4] == CANT_REACH
+        assert lab.status[4, 3] == CANT_REACH
+        assert lab.status[4, 4] == CANT_REACH
+
+    def test_mesh_border_is_not_blocking(self):
+        # DESIGN interpretation 1: otherwise (0,0) would be can't-reach.
+        lab = label_grid(mask_of_cells([(5, 5)], (7, 7)))
+        assert lab.status[0, 0] == SAFE
+        assert lab.status[6, 6] == SAFE
+
+    def test_c_shape_pocket_closes(self):
+        # An east-opening C: the pocket is can't-reach-filled.
+        cells = [(5, 4), (5, 5), (5, 6), (6, 4), (6, 6)]
+        lab = label_grid(mask_of_cells(cells, (9, 9)))
+        assert lab.status[6, 5] == CANT_REACH
+
+
+class TestRules3D:
+    def test_fig5_labels(self, fig5_mask):
+        # Section 4: "(5,5,5) becomes useless and (5,5,7) becomes
+        # can't-reach in our labelling process."
+        lab = label_grid(fig5_mask)
+        assert lab.status[5, 5, 5] == USELESS
+        assert lab.status[5, 5, 7] == CANT_REACH
+
+    def test_fig5_hole_stays_safe(self, fig5_mask):
+        # "A section ... shows a hole at (6,6,5) in the MCC region."
+        lab = label_grid(fig5_mask)
+        assert lab.status[6, 6, 5] == SAFE
+
+    def test_2d_blocker_not_useless_in_3d(self):
+        # A node with only +X and +Y blocked can still route +Z
+        # (Section 4, first paragraph).
+        mask = mask_of_cells([(4, 3, 3), (3, 4, 3)], (6, 6, 6))
+        lab = label_grid(mask)
+        assert lab.status[3, 3, 3] == SAFE
+
+    def test_three_blockers_make_useless(self):
+        mask = mask_of_cells([(4, 3, 3), (3, 4, 3), (3, 3, 4)], (6, 6, 6))
+        lab = label_grid(mask)
+        assert lab.status[3, 3, 3] == USELESS
+
+
+class TestFixedPoint:
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_matches_reference_2d(self, seed, count):
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (6, 6), count)
+        for sign in (+1, -1):
+            fast = _closure(mask, sign)
+            slow = _closure_reference(mask, sign)
+            assert np.array_equal(fast, slow)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_vectorized_matches_reference_3d(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (4, 4, 4), int(rng.integers(0, 10)))
+        for sign in (+1, -1):
+            assert np.array_equal(
+                _closure(mask, sign), _closure_reference(mask, sign)
+            )
+
+    def test_idempotent(self, rng):
+        # Labelling the unsafe set again adds nothing new.
+        mask = random_mask(rng, (8, 8), 10)
+        lab = label_grid(mask)
+        lab2 = label_grid(lab.unsafe_mask)
+        assert np.array_equal(lab2.unsafe_mask, lab.unsafe_mask)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_faults(self, seed):
+        # More faults => superset of unsafe nodes.
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (7, 7), 6)
+        bigger = mask.copy()
+        bigger[tuple(rng.integers(0, 7, 2))] = True
+        small = label_grid(mask).unsafe_mask
+        large = label_grid(bigger).unsafe_mask
+        assert (small <= large).all()
+
+    def test_faults_always_unsafe(self, rng):
+        mask = random_mask(rng, (6, 6, 6), 15)
+        lab = label_grid(mask)
+        assert (lab.status[mask] == FAULTY).all()
+
+
+class TestOrientationHandling:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_direction_class_symmetry(self, seed):
+        # Labelling a flipped grid == flipping the labelled grid.
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (6, 6), 8)
+        for o in Orientation.all_classes((6, 6)):
+            direct = label_grid(mask, o).status
+            manual = label_grid(o.to_canonical(mask)).status
+            assert np.array_equal(direct, manual)
+
+    def test_label_mesh_picks_pair_class(self, rng):
+        mesh = Mesh2D(8)
+        mask = random_mask(rng, (8, 8), 6)
+        lab = label_mesh(mesh, mask, source=(7, 7), dest=(0, 0))
+        assert lab.orientation.signs == (-1, -1)
+
+    def test_label_mesh_shape_check(self):
+        with pytest.raises(ValueError):
+            label_mesh(Mesh2D(4), np.zeros((5, 5), dtype=bool))
+
+
+class TestAccessors:
+    def test_counts(self, rng):
+        mask = random_mask(rng, (8, 8), 12)
+        lab = label_grid(mask)
+        counts = lab.counts()
+        assert counts["faulty"] == 12
+        assert sum(counts.values()) == 64
+
+    def test_masks_partition(self, rng):
+        mask = random_mask(rng, (8, 8), 12)
+        lab = label_grid(mask)
+        total = (
+            lab.safe_mask.sum()
+            + lab.fault_mask.sum()
+            + lab.useless_mask.sum()
+            + lab.cant_reach_mask.sum()
+        )
+        assert total == 64
+        assert np.array_equal(lab.unsafe_mask, ~lab.safe_mask)
+
+    def test_unsafe_mask_shorthand(self, rng):
+        mask = random_mask(rng, (6, 6), 5)
+        assert np.array_equal(unsafe_mask(mask), label_grid(mask).unsafe_mask)

@@ -1,0 +1,57 @@
+"""Integration tests through the top-level public API."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestEndToEnd:
+    def test_quickstart_from_docstring(self):
+        faults = np.zeros((10, 10, 10), dtype=bool)
+        faults[5, 5, 5] = True
+        router = repro.AdaptiveRouter(faults, mode="mcc")
+        result = router.route((0, 0, 0), (9, 9, 9))
+        assert result.delivered and result.is_minimal()
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_full_pipeline_composes(self):
+        mesh = repro.Mesh3D(8)
+        faults = repro.FaultSet(mesh, [(4, 4, 4), (4, 5, 4), (5, 4, 4)])
+        labelled = repro.label_grid(faults.mask)
+        mccs = repro.extract_mccs(labelled)
+        walls = repro.build_walls(mccs)
+        assert len(walls) == len(mccs) * 3
+        assert repro.minimal_path_exists_lemma1(walls, (0, 0, 0), (7, 7, 7), labelled)
+
+    def test_theorem_vs_oracle_via_api(self):
+        faults = np.zeros((6, 6), dtype=bool)
+        faults[2, 3] = True
+        assert repro.minimal_path_exists_theorem(faults, (0, 0), (5, 5))
+        assert not repro.minimal_path_exists_theorem(faults, (2, 0), (2, 5))
+
+    def test_distributed_pipeline_via_api(self):
+        faults = np.zeros((6, 6), dtype=bool)
+        faults[3, 3] = True
+        pipe = repro.DistributedMCCPipeline(repro.Mesh2D(6), faults)
+        assert pipe.route((0, 0), (5, 5))["status"] == "delivered"
+
+    def test_orientation_roundtrip_via_api(self):
+        o = repro.Orientation.for_pair((5, 1), (2, 4), (6, 6))
+        assert o.signs == (-1, 1)
+        assert o.unmap_coord(o.map_coord((5, 1))) == (5, 1)
+
+    def test_baselines_via_api(self):
+        faults = np.zeros((5, 5), dtype=bool)
+        faults[2, 0] = True
+        assert not repro.ecube_succeeds(faults, (0, 0), (4, 0))
+        blocks = repro.rfb_blocks(faults)
+        assert len(blocks) == 1
+        ok, path = repro.greedy_route(faults, (0, 0), (4, 4))
+        assert ok

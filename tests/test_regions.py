@@ -1,0 +1,104 @@
+"""Unit tests for Box and mask helpers."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.regions import Box, cells_of_mask, mask_of_cells
+
+
+class TestBoxBasics:
+    def test_spanning_is_rmp(self):
+        box = Box.spanning((3, 7, 2), (5, 1, 2))
+        assert box.lo == (3, 1, 2)
+        assert box.hi == (5, 7, 2)
+        assert box.volume == 3 * 7 * 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Box((2, 0), (1, 5))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1, 1))
+
+    def test_contains(self):
+        box = Box((1, 1), (3, 3))
+        assert box.contains((1, 3)) and box.contains((2, 2))
+        assert not box.contains((0, 2))
+        assert not box.contains((2,))
+
+    def test_of_cells(self):
+        box = Box.of_cells([(5, 2), (1, 8), (3, 3)])
+        assert box == Box((1, 2), (5, 8))
+        with pytest.raises(ValueError):
+            Box.of_cells([])
+
+    def test_degenerate_segment_notation(self):
+        # The paper's [0:xd, yd:yd] segments are degenerate boxes.
+        seg = Box((0, 7), (5, 7))
+        assert seg.volume == 6
+        assert seg.contains((3, 7)) and not seg.contains((3, 6))
+
+
+class TestBoxAlgebra:
+    def test_intersection(self):
+        a = Box((0, 0), (4, 4))
+        b = Box((3, 2), (6, 6))
+        assert a.intersection(b) == Box((3, 2), (4, 4))
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((3, 3), (4, 4))
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+    def test_adjacent_detected_by_inflate(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((2, 0), (3, 1))
+        assert not a.intersects(b)
+        assert a.inflate(1).intersects(b)
+
+    def test_union_box(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((3, 3), (4, 4))
+        assert a.union_box(b) == Box((0, 0), (4, 4))
+
+    def test_contains_box(self):
+        assert Box((0, 0), (5, 5)).contains_box(Box((1, 1), (4, 4)))
+        assert not Box((1, 1), (4, 4)).contains_box(Box((0, 0), (5, 5)))
+
+    def test_clip(self):
+        box = Box((-2, 5), (3, 12))
+        assert box.clip((10, 10)) == Box((0, 5), (3, 9))
+        assert Box((-5, -5), (-1, -1)).clip((10, 10)) is None
+
+
+class TestMasksAndIteration:
+    def test_mask(self):
+        box = Box((1, 1), (2, 2))
+        mask = box.mask((4, 4))
+        assert mask.sum() == 4
+        assert mask[1, 1] and mask[2, 2] and not mask[0, 0]
+
+    def test_mask_clips_out_of_range(self):
+        mask = Box((8, 8), (12, 12)).mask((10, 10))
+        assert mask.sum() == 4
+
+    def test_cells_iteration(self):
+        cells = list(Box((0, 0), (1, 2)).cells())
+        assert len(cells) == 6
+        assert (1, 2) in cells
+
+    def test_slices_roundtrip(self):
+        grid = np.zeros((5, 5), dtype=int)
+        grid[Box((1, 2), (3, 4)).slices()] = 1
+        assert grid.sum() == 9
+
+    def test_mask_of_cells_roundtrip(self):
+        cells = [(0, 1), (3, 2), (4, 4)]
+        mask = mask_of_cells(cells, (5, 5))
+        assert sorted(cells_of_mask(mask)) == sorted(cells)
+
+    def test_mask_of_no_cells(self):
+        assert mask_of_cells([], (3, 3)).sum() == 0

@@ -1,0 +1,121 @@
+"""Tests for the rectangular-faulty-block baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rfb import _local_closure, rfb_blocks, rfb_labelled, rfb_unsafe
+from repro.core.labelling import FAULTY, USELESS
+from repro.mesh.orientation import Orientation
+from repro.mesh.regions import mask_of_cells
+from tests.conftest import random_mask
+
+
+class TestLocalClosure:
+    def test_two_dims_rule(self):
+        # (2,2) has faulty neighbors on two different dimensions.
+        mask = mask_of_cells([(1, 2), (2, 1)], (5, 5))
+        closed = _local_closure(mask)
+        assert closed[2, 2]
+
+    def test_same_dim_not_enough(self):
+        mask = mask_of_cells([(1, 2), (3, 2)], (5, 5))
+        closed = _local_closure(mask)
+        assert not closed[2, 2]
+
+    def test_cascades(self):
+        mask = mask_of_cells([(1, 2), (2, 1), (3, 2), (2, 3)], (6, 6))
+        closed = _local_closure(mask)
+        assert closed[2, 2]
+
+
+class TestBlocks:
+    def test_single_fault_single_block(self):
+        blocks = rfb_blocks(mask_of_cells([(3, 3)], (8, 8)))
+        assert len(blocks) == 1
+        assert blocks[0].lo == (3, 3) and blocks[0].hi == (3, 3)
+
+    def test_diagonal_cluster_bounding_box(self):
+        blocks = rfb_blocks(mask_of_cells([(2, 3), (3, 2)], (8, 8)))
+        assert len(blocks) == 1
+        assert blocks[0].lo == (2, 2) and blocks[0].hi == (3, 3)
+
+    def test_distance_two_blocks_stay_separate(self):
+        # Two singletons two apart leave a one-cell gap: separate blocks.
+        blocks = rfb_blocks(mask_of_cells([(2, 2), (2, 4)], (8, 8)))
+        assert len(blocks) == 2
+
+    def test_corner_diagonal_blocks_merge_3d(self):
+        # In 3-D the local rule does not glue corner-diagonal faults,
+        # but their unit blocks touch diagonally and merge into one.
+        blocks = rfb_blocks(mask_of_cells([(2, 2, 2), (3, 3, 3)], (6, 6, 6)))
+        assert len(blocks) == 1
+        assert blocks[0].lo == (2, 2, 2) and blocks[0].hi == (3, 3, 3)
+
+    def test_far_blocks_stay_separate(self):
+        blocks = rfb_blocks(mask_of_cells([(1, 1), (6, 6)], (9, 9)))
+        assert len(blocks) == 2
+
+    def test_blocks_pairwise_separated(self, rng):
+        for _ in range(10):
+            mask = random_mask(rng, (10, 10), 12)
+            blocks = rfb_blocks(mask)
+            for i, a in enumerate(blocks):
+                for b in blocks[i + 1:]:
+                    assert not a.inflate(1).intersects(b)
+
+    def test_blocks_contain_all_faults(self, rng):
+        for _ in range(10):
+            mask = random_mask(rng, (8, 8, 8), 20)
+            blocks = rfb_blocks(mask)
+            for cell in np.argwhere(mask):
+                assert any(b.contains(tuple(int(c) for c in cell)) for b in blocks)
+
+    def test_paper_fig1_scene(self):
+        # Figure 1(b): staircase faults produce one bounding rectangle.
+        cells = [(3, 6), (4, 5), (5, 4), (6, 3), (3, 3)]
+        blocks = rfb_blocks(mask_of_cells(cells, (10, 10)))
+        assert len(blocks) == 1
+        assert blocks[0].lo == (3, 3) and blocks[0].hi == (6, 6)
+
+
+class TestUnsafeMask:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_union_of_blocks(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, (8, 8), int(rng.integers(1, 12)))
+        unsafe = rfb_unsafe(mask)
+        blocks = rfb_blocks(mask)
+        expected = np.zeros_like(mask)
+        for b in blocks:
+            clipped = b.clip(mask.shape)
+            expected[clipped.slices()] = True
+        assert np.array_equal(unsafe, expected)
+
+    def test_local_variant_smaller(self, rng):
+        for _ in range(10):
+            mask = random_mask(rng, (9, 9), 14)
+            local = rfb_unsafe(mask, variant="local")
+            block = rfb_unsafe(mask, variant="block")
+            assert (local <= block).all()
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            rfb_unsafe(np.zeros((3, 3), dtype=bool), variant="huh")
+
+
+class TestLabelledAdapter:
+    def test_statuses(self):
+        mask = mask_of_cells([(2, 3), (3, 2)], (8, 8))
+        lab = rfb_labelled(mask)
+        assert lab.status[2, 3] == FAULTY
+        assert lab.status[2, 2] == USELESS  # block member, non-faulty
+        assert lab.status[0, 0] == 0
+
+    def test_oriented(self):
+        mask = mask_of_cells([(1, 1)], (4, 4))
+        o = Orientation((-1, 1), (4, 4))
+        lab = rfb_labelled(mask, o)
+        assert lab.status[2, 1] == FAULTY  # x flipped: 4-1-1 = 2

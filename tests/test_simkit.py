@@ -1,0 +1,210 @@
+"""Tests for the discrete-event simulation kit."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.regions import mask_of_cells
+from repro.mesh.topology import Mesh2D
+from repro.simkit.event_queue import EventQueue
+from repro.simkit.message import Message
+from repro.simkit.network import MeshNetwork
+from repro.simkit.node import NodeProcess
+from repro.simkit.simulator import Simulator
+from repro.simkit.stats import StatsCollector
+from repro.simkit.trace import TraceLog
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        out = []
+        q.push(3.0, lambda: out.append("c"))
+        q.push(1.0, lambda: out.append("a"))
+        q.push(2.0, lambda: out.append("b"))
+        while q:
+            _, action = q.pop()
+            action()
+        assert out == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        q = EventQueue()
+        out = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: out.append(i))
+        while q:
+            q.pop()[1]()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_cancel(self):
+        q = EventQueue()
+        out = []
+        handle = q.push(1.0, lambda: out.append("x"))
+        q.push(2.0, lambda: out.append("y"))
+        q.cancel(handle)
+        assert len(q) == 1
+        while q:
+            q.pop()[1]()
+        assert out == ["y"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1, lambda: None)
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        out = []
+
+        def first():
+            out.append("first")
+            sim.schedule(1.0, lambda: out.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run_to_quiescence()
+        assert out == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_until_limit(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: out.append(1))
+        sim.schedule(5.0, lambda: out.append(5))
+        sim.run(until=2.0)
+        assert out == [1]
+        assert not sim.idle
+
+    def test_runaway_protocol_detected(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run_to_quiescence(max_events=100)
+
+    def test_cancel_via_simulator(self):
+        sim = Simulator()
+        out = []
+        handle = sim.schedule(1.0, lambda: out.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert out == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.5, lambda: None)
+
+
+class _Echo(NodeProcess):
+    """Test node: replies PONG to PING once."""
+
+    def on_start(self):
+        self.store["got"] = []
+        if self.coord == (0, 0):
+            self.send((0, 1), "PING")
+
+    def on_message(self, msg):
+        self.store["got"].append(msg.kind)
+        if msg.kind == "PING":
+            self.send(msg.src, "PONG")
+
+
+class TestNetwork:
+    def test_ping_pong(self):
+        net = MeshNetwork(Mesh2D(2), np.zeros((2, 2), dtype=bool), _Echo)
+        net.start()
+        net.run_to_quiescence()
+        assert net.nodes[(0, 1)].store["got"] == ["PING"]
+        assert net.nodes[(0, 0)].store["got"] == ["PONG"]
+        assert net.stats.by_kind() == {"PING": 1, "PONG": 1}
+
+    def test_non_neighbor_send_rejected(self):
+        net = MeshNetwork(Mesh2D(3), np.zeros((3, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            net.transmit(Message("X", (0, 0), (2, 0)))
+
+    def test_faulty_nodes_neither_send_nor_receive(self):
+        faults = mask_of_cells([(0, 1)], (2, 2))
+        net = MeshNetwork(Mesh2D(2), faults, _Echo)
+        net.start()
+        net.run_to_quiescence()
+        assert net.stats.gauges["dropped[dst-faulty]"] == 1
+        assert net.nodes[(0, 0)].store["got"] == []
+
+    def test_ttl_expiry_drops(self):
+        net = MeshNetwork(Mesh2D(2), np.zeros((2, 2), dtype=bool))
+        msg = Message("HOP", (0, 0), (0, 1), ttl=0, hops=1)
+        net.transmit(msg)
+        net.run_to_quiescence()
+        assert net.stats.gauges["dropped[ttl]"] == 1
+
+    def test_trace_records_deliveries(self):
+        net = MeshNetwork(Mesh2D(2), np.zeros((2, 2), dtype=bool), _Echo, trace=True)
+        net.start()
+        net.run_to_quiescence()
+        assert len(net.trace) == 2
+        assert net.trace.filter("PING")[0].dst == (0, 1)
+
+    def test_deterministic_replay(self):
+        def run():
+            net = MeshNetwork(Mesh2D(3), np.zeros((3, 3), dtype=bool), _Echo)
+            net.start()
+            net.run_to_quiescence()
+            return net.sim.now, net.stats.total_messages
+
+        assert run() == run()
+
+    def test_inject_fault_mid_run(self):
+        net = MeshNetwork(Mesh2D(2), np.zeros((2, 2), dtype=bool), _Echo)
+        net.start()
+        net.inject_fault((0, 1))
+        net.run_to_quiescence()
+        assert net.nodes[(0, 0)].store["got"] == []
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MeshNetwork(Mesh2D(3), np.zeros((2, 2), dtype=bool))
+
+
+class TestStatsAndTrace:
+    def test_stats_summary(self):
+        stats = StatsCollector()
+        stats.on_send("A")
+        stats.on_send("A")
+        stats.on_send("B")
+        stats.bump("x", 2.5)
+        summary = stats.summary()
+        assert summary["msgs[A]"] == 2
+        assert summary["msgs[total]"] == 3
+        assert summary["x"] == 2.5
+        stats.reset()
+        assert stats.total_messages == 0
+
+    def test_trace_bounded(self):
+        trace = TraceLog(limit=2)
+        for i in range(5):
+            trace.record(float(i), "K", (0, 0), (0, 1))
+        assert len(trace) == 2 and trace.dropped == 3
+
+    def test_trace_render(self):
+        trace = TraceLog()
+        trace.record(1.0, "K", (0, 0), (0, 1), note="hello")
+        text = trace.render()
+        assert "K" in text and "hello" in text

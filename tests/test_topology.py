@@ -1,0 +1,98 @@
+"""Unit tests for the mesh topology."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.coords import Direction
+from repro.mesh.topology import Mesh, Mesh2D, Mesh3D
+
+
+class TestConstruction:
+    def test_kn_nodes(self):
+        # k-ary n-D mesh has k^n nodes (Section 2)
+        assert Mesh3D(4).size == 64
+        assert Mesh2D(5).size == 25
+
+    def test_diameter(self):
+        # diameter (k-1) * n (Section 2)
+        assert Mesh3D(4).diameter == 9
+        assert Mesh((3, 5)).diameter == 6
+
+    def test_rectangular_extents(self):
+        mesh = Mesh((2, 3, 4))
+        assert mesh.size == 24
+        assert mesh.shape == (2, 3, 4)
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ValueError):
+            Mesh(())
+        with pytest.raises(ValueError):
+            Mesh((0, 3))
+
+    def test_mesh3d_partial_extents_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh3D(3, 4)
+
+    def test_equality_and_hash(self):
+        assert Mesh3D(4) == Mesh((4, 4, 4))
+        assert hash(Mesh3D(4)) == hash(Mesh((4, 4, 4)))
+        assert Mesh2D(4) != Mesh3D(4)
+
+
+class TestQueries:
+    def test_contains(self):
+        mesh = Mesh3D(3)
+        assert mesh.contains((0, 0, 0))
+        assert mesh.contains((2, 2, 2))
+        assert not mesh.contains((3, 0, 0))
+        assert not mesh.contains((0, -1, 0))
+        assert not mesh.contains((0, 0))
+
+    def test_degree(self):
+        mesh = Mesh3D(3)
+        assert mesh.degree((1, 1, 1)) == 6
+        assert mesh.degree((0, 0, 0)) == 3
+        assert mesh.degree((0, 1, 1)) == 5
+
+    def test_neighbors_linear_array_structure(self):
+        # nodes along each dimension form a linear array (Section 2)
+        mesh = Mesh((4, 1))
+        assert mesh.neighbors((0, 0)) == [(1, 0)]
+        assert set(mesh.neighbors((1, 0))) == {(2, 0), (0, 0)}
+
+    def test_neighbor_along_direction(self):
+        mesh = Mesh2D(4)
+        assert mesh.neighbor((1, 1), Direction(0, 1)) == (2, 1)
+        assert mesh.neighbor((3, 1), Direction(0, 1)) is None
+
+    def test_require_validates(self):
+        mesh = Mesh2D(4)
+        with pytest.raises(IndexError):
+            mesh.require((4, 0))
+        with pytest.raises(ValueError):
+            mesh.require((1, 1, 1))
+
+    def test_distance(self):
+        assert Mesh3D(10).distance((0, 0, 0), (9, 9, 9)) == 27
+
+
+class TestIndexing:
+    def test_roundtrip(self):
+        mesh = Mesh((3, 4, 5))
+        for idx in (0, 17, mesh.size - 1):
+            assert mesh.index_of(mesh.coord_of(idx)) == idx
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            Mesh2D(3).coord_of(9)
+
+    def test_nodes_iteration_covers_all(self):
+        mesh = Mesh((2, 3))
+        nodes = list(mesh.nodes())
+        assert len(nodes) == 6
+        assert len(set(nodes)) == 6
+
+    def test_array_helpers(self):
+        mesh = Mesh2D(3)
+        assert mesh.zeros().shape == (3, 3)
+        assert mesh.full(7)[2, 2] == 7

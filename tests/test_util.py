@@ -1,0 +1,86 @@
+"""Tests for util helpers (rng, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    iter_seeds,
+    make_rng,
+    sample_distinct,
+    shuffled,
+    spawn_rngs,
+)
+from repro.util.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_shape_member,
+)
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_make_rng_seeded_reproducible(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rngs(1, 2)
+        assert a.integers(10**9) != b.integers(10**9)
+
+    def test_spawn_reproducible(self):
+        xs = [g.integers(10**9) for g in spawn_rngs(5, 3)]
+        ys = [g.integers(10**9) for g in spawn_rngs(5, 3)]
+        assert xs == ys
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_sample_distinct(self):
+        rng = make_rng(0)
+        draw = sample_distinct(rng, 10, 10)
+        assert sorted(draw.tolist()) == list(range(10))
+        with pytest.raises(ValueError):
+            sample_distinct(rng, 3, 4)
+        with pytest.raises(ValueError):
+            sample_distinct(rng, 3, -1)
+
+    def test_iter_seeds(self):
+        rngs = iter_seeds(3, ["a", "b"])
+        assert set(rngs) == {"a", "b"}
+
+    def test_shuffled_preserves_input(self):
+        items = [1, 2, 3, 4]
+        out = shuffled(make_rng(0), items)
+        assert sorted(out) == items and items == [1, 2, 3, 4]
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        check_positive("x", 0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_index(self):
+        check_index("i", 2, 3)
+        with pytest.raises(IndexError):
+            check_index("i", 3, 3)
+
+    def test_check_shape_member(self):
+        check_shape_member("c", (1, 2), (3, 3))
+        with pytest.raises(ValueError):
+            check_shape_member("c", (1,), (3, 3))
+        with pytest.raises(IndexError):
+            check_shape_member("c", (3, 0), (3, 3))

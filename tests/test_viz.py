@@ -1,0 +1,59 @@
+"""Tests for ASCII visualization."""
+
+import numpy as np
+import pytest
+
+from repro.core.labelling import label_grid
+from repro.mesh.regions import mask_of_cells
+from repro.viz.ascii_art import render_grid, render_route, render_slices
+
+
+class TestRenderGrid:
+    def test_status_characters(self):
+        lab = label_grid(mask_of_cells([(1, 2), (2, 1)], (4, 4)))
+        text = render_grid(lab)
+        assert "#" in text and "u" in text and "c" in text and "." in text
+
+    def test_origin_bottom_left(self):
+        lab = label_grid(mask_of_cells([(0, 0)], (3, 3)))
+        lines = render_grid(lab, legend=False).splitlines()
+        # Row y=0 is the second-to-last line; x=0 is its first cell.
+        assert lines[-2].strip().startswith("0 #")
+
+    def test_overlays_win(self):
+        grid = np.zeros((3, 3), dtype=np.int8)
+        text = render_grid(grid, overlays={(1, 1): "S"}, legend=False)
+        assert "S" in text
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            render_grid(np.zeros((2, 2, 2), dtype=np.int8))
+
+
+class TestRenderSlices:
+    def test_default_shows_unsafe_sections_only(self, fig5_mask):
+        lab = label_grid(fig5_mask)
+        text = render_slices(lab)
+        assert "section Z = 5" in text
+        assert "section Z = 0" not in text
+
+    def test_keep_selects(self, fig5_mask):
+        lab = label_grid(fig5_mask)
+        text = render_slices(lab, keep=[0])
+        assert "section Z = 0" in text
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            render_slices(np.zeros((2, 2), dtype=np.int8))
+
+
+class TestRenderRoute:
+    def test_endpoints_marked(self):
+        grid = np.zeros((4, 4), dtype=np.int8)
+        text = render_route(grid, [(0, 0), (1, 0), (1, 1)])
+        assert "S" in text and "D" in text and "*" in text
+
+    def test_3d_route_slices(self):
+        grid = np.zeros((3, 3, 3), dtype=np.int8)
+        text = render_route(grid, [(0, 0, 0), (0, 0, 1), (1, 0, 1)])
+        assert "section Z = 0" in text and "section Z = 1" in text

@@ -1,0 +1,133 @@
+"""Tests for boundary walls and chain merging."""
+
+import numpy as np
+
+from repro.core.components import extract_mccs
+from repro.core.labelling import label_grid
+from repro.core.walls import (
+    active_walls,
+    build_walls,
+    forbidden_mask_for_dest,
+    merged_forbidden,
+    walls_for,
+)
+from repro.mesh.regions import mask_of_cells
+from tests.conftest import random_mask
+
+
+def _walls(mask):
+    lab = label_grid(mask)
+    mccs = extract_mccs(lab)
+    return lab, mccs, build_walls(mccs)
+
+
+class TestSingleMCC:
+    def test_wall_count(self, rng):
+        mask = mask_of_cells([(3, 3)], (8, 8))
+        _, mccs, walls = _walls(mask)
+        assert len(walls) == len(mccs) * 2
+
+    def test_singleton_regions(self):
+        mask = mask_of_cells([(3, 3)], (8, 8))
+        _, _, walls = _walls(mask)
+        wy = next(w for w in walls if w.dim == 1)
+        assert wy.forbidden[3, 0] and wy.forbidden[3, 2]
+        assert not wy.forbidden[3, 4]
+        assert wy.critical[3, 4] and not wy.critical[3, 3]
+        # Y-wall record cells guard +X entries at column 2, rows < 3.
+        assert wy.records[0][2, 0] and wy.records[0][2, 2]
+        assert not wy.records[0][2, 3]
+        assert wy.chain == (1,)
+
+    def test_guards_accessor(self):
+        mask = mask_of_cells([(3, 3)], (8, 8))
+        _, _, walls = _walls(mask)
+        wy = next(w for w in walls if w.dim == 1)
+        assert wy.guards((2, 1), 0)
+        assert not wy.guards((2, 5), 0)
+
+
+class TestChainMerging:
+    def test_obstructed_wall_merges(self):
+        # M1 at (5,5); M2 at (4,2) sits exactly on M1's Y-wall column.
+        mask = mask_of_cells([(5, 5), (4, 2)], (9, 9))
+        lab, mccs, walls = _walls(mask)
+        m1 = mccs.component_at((5, 5)).index
+        wy = next(w for w in walls_for(walls, m1) if w.dim == 1)
+        assert len(wy.chain) == 2
+        # Merged forbidden covers M2's shadow too.
+        assert wy.forbidden[4, 0] and wy.forbidden[4, 1]
+        assert wy.forbidden[5, 0]
+
+    def test_unobstructed_walls_do_not_merge(self):
+        mask = mask_of_cells([(5, 5), (1, 1)], (9, 9))
+        _, mccs, walls = _walls(mask)
+        for w in walls:
+            assert len(w.chain) == 1
+
+    def test_merged_forbidden_direct(self):
+        mask = mask_of_cells([(5, 5), (4, 2)], (9, 9))
+        lab = label_grid(mask)
+        mccs = extract_mccs(lab)
+        m1 = mccs.component_at((5, 5)).index
+        z, chain = merged_forbidden(mccs, m1, dim=1)
+        assert set(chain) == {1, 2}
+        assert z[4, 1] and z[5, 4]
+
+    def test_chain_is_transitive(self):
+        # Three stacked obstructions chain through each other.
+        mask = mask_of_cells([(6, 7), (5, 4), (4, 1)], (10, 10))
+        lab, mccs, walls = _walls(mask)
+        top = mccs.component_at((6, 7)).index
+        wy = next(w for w in walls_for(walls, top) if w.dim == 1)
+        assert len(wy.chain) == 3
+
+    def test_critical_not_merged(self):
+        # Algorithm 5 step 4: only Q merges; Q' stays the owner's.
+        mask = mask_of_cells([(5, 5), (4, 2)], (9, 9))
+        lab, mccs, walls = _walls(mask)
+        m1 = mccs.component_at((5, 5)).index
+        wy = next(w for w in walls_for(walls, m1) if w.dim == 1)
+        assert wy.critical[5, 7]
+        assert not wy.critical[4, 7]  # above M2 only: not M1's critical
+
+
+class TestDestFiltering:
+    def test_active_walls(self):
+        mask = mask_of_cells([(3, 3)], (8, 8))
+        _, _, walls = _walls(mask)
+        assert len(active_walls(walls, (3, 6))) == 1  # Y-critical only
+        assert len(active_walls(walls, (6, 3))) == 1  # X-critical only
+        assert len(active_walls(walls, (6, 6))) == 0  # diagonal: neither
+
+    def test_forbidden_mask_for_dest(self, rng):
+        mask = mask_of_cells([(3, 3)], (8, 8))
+        _, _, walls = _walls(mask)
+        fm = forbidden_mask_for_dest(walls, (3, 6), (8, 8))
+        assert fm[3, 1] and not fm[1, 3]
+
+    def test_records_on_safe_cells_only(self, rng):
+        for _ in range(5):
+            mask = random_mask(rng, (9, 9), 10)
+            lab, _, walls = _walls(mask)
+            for w in walls:
+                for rec in w.records.values():
+                    assert not (rec & lab.unsafe_mask).any()
+
+
+class TestWalls3D:
+    def test_three_walls_per_mcc(self, fig5_mask):
+        lab = label_grid(fig5_mask)
+        mccs = extract_mccs(lab)
+        walls = build_walls(mccs)
+        assert len(walls) == len(mccs) * 3
+
+    def test_3d_shadow_membership(self, fig5_mask):
+        lab = label_grid(fig5_mask)
+        mccs = extract_mccs(lab)
+        walls = build_walls(mccs)
+        idx = mccs.component_at((7, 8, 4)).index
+        wz = next(w for w in walls_for(walls, idx) if w.dim == 2)
+        assert wz.forbidden[7, 8, 0] and wz.forbidden[7, 8, 3]
+        assert not wz.forbidden[7, 8, 5]
+        assert wz.critical[7, 8, 9]
