@@ -1,0 +1,137 @@
+"""B: batched routing throughput — route_batch vs per-call route_adaptive.
+
+The acceptance target for the batch service: on a 16^3 mesh with 10k
+random pairs over one fault pattern, ``RoutingService.route_batch`` must
+be at least 5x faster than per-pair :func:`route_adaptive` (which
+rebuilds labelled grids, walls, and reachability floods per call) while
+producing element-wise identical :class:`RouteResult` outcomes.
+
+Run standalone for the full comparison::
+
+    PYTHONPATH=src python benchmarks/bench_batch_routing.py
+    PYTHONPATH=src python benchmarks/bench_batch_routing.py \
+        --shape 8 8 8 --pairs 500 --faults 40 --min-speedup 2.0  # CI smoke
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.experiments.workloads import random_fault_mask
+from repro.routing.batch import RoutingService
+from repro.routing.engine import route_adaptive
+from repro.util.rng import make_rng
+
+
+def sample_pairs(fault_mask: np.ndarray, count: int, rng) -> list:
+    """Random non-faulty (source, dest) pairs (may be infeasible)."""
+    cells = np.argwhere(~fault_mask)
+    picks = rng.integers(0, cells.shape[0], size=(count, 2))
+    return [
+        (tuple(int(c) for c in cells[i]), tuple(int(c) for c in cells[j]))
+        for i, j in picks
+    ]
+
+
+def results_identical(a, b) -> bool:
+    return (a.delivered, a.path, a.feasible, a.stuck_at, a.reason) == (
+        b.delivered,
+        b.path,
+        b.feasible,
+        b.stuck_at,
+        b.reason,
+    )
+
+
+def run_comparison(
+    shape=(16, 16, 16),
+    pairs=10_000,
+    faults=120,
+    mode="mcc",
+    seed=2005,
+) -> dict:
+    """Time batched vs per-call routing; verify element-wise identity."""
+    rng = make_rng(seed)
+    mask = random_fault_mask(shape, faults, rng=rng)
+    batch_pairs = sample_pairs(mask, pairs, rng)
+
+    t0 = time.perf_counter()
+    batched = RoutingService(mask, mode=mode).route_batch(batch_pairs)
+    t_batch = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    solo = [route_adaptive(mask, s, d, mode=mode) for s, d in batch_pairs]
+    t_solo = time.perf_counter() - t0
+
+    mismatches = sum(
+        not results_identical(a, b) for a, b in zip(batched, solo)
+    )
+    return {
+        "shape": shape,
+        "pairs": pairs,
+        "faults": faults,
+        "mode": mode,
+        "delivered": sum(r.delivered for r in batched),
+        "t_batch_s": t_batch,
+        "t_percall_s": t_solo,
+        "speedup": t_solo / t_batch if t_batch else float("inf"),
+        "batch_pairs_per_s": pairs / t_batch if t_batch else float("inf"),
+        "mismatches": mismatches,
+    }
+
+
+def test_batch_routing_throughput(benchmark):
+    """Track batched throughput; identity vs per-call on a small mesh."""
+    rng = make_rng(7)
+    mask = random_fault_mask((8, 8, 8), 40, rng=rng)
+    batch_pairs = sample_pairs(mask, 400, rng)
+    service = RoutingService(mask, mode="mcc")
+    results = benchmark(service.route_batch, batch_pairs)
+    solo = [route_adaptive(mask, s, d) for s, d in batch_pairs]
+    assert all(results_identical(a, b) for a, b in zip(results, solo))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shape", type=int, nargs="+", default=[16, 16, 16])
+    parser.add_argument("--pairs", type=int, default=10_000)
+    parser.add_argument("--faults", type=int, default=120)
+    parser.add_argument("--mode", default="mcc")
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail when batch speedup drops below this factor",
+    )
+    args = parser.parse_args()
+    stats = run_comparison(
+        shape=tuple(args.shape),
+        pairs=args.pairs,
+        faults=args.faults,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    print(
+        f"batched routing  {stats['mode']}  mesh={stats['shape']}  "
+        f"pairs={stats['pairs']}  faults={stats['faults']}"
+    )
+    print(
+        f"  route_batch   : {stats['t_batch_s']:8.3f} s  "
+        f"({stats['batch_pairs_per_s']:,.0f} pairs/s)"
+    )
+    print(f"  route_adaptive: {stats['t_percall_s']:8.3f} s  (per-call)")
+    print(f"  speedup       : {stats['speedup']:8.1f}x")
+    print(f"  delivered     : {stats['delivered']} / {stats['pairs']}")
+    assert stats["mismatches"] == 0, (
+        f"{stats['mismatches']} batched results differ from per-call routing"
+    )
+    assert stats["speedup"] >= args.min_speedup, (
+        f"speedup {stats['speedup']:.1f}x below target {args.min_speedup}x"
+    )
+    print("  results element-wise identical; target met")
+
+
+if __name__ == "__main__":
+    main()

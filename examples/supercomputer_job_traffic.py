@@ -10,7 +10,7 @@ routers: MCC-guided adaptive, blind adaptive, and dimension-order.
 
 import numpy as np
 
-from repro import AdaptiveRouter, ecube_succeeds, greedy_route, label_grid
+from repro import RoutingService, ecube_succeeds, greedy_route, label_grid
 from repro.experiments.workloads import clustered_fault_mask, sample_safe_pair
 from repro.mesh.coords import manhattan
 from repro.util.rng import make_rng
@@ -34,16 +34,18 @@ def main() -> None:
         "in the canonical class"
     )
 
-    router = AdaptiveRouter(faults, mode="mcc")
+    # One service per partition: every job batch shares the per-class
+    # labelled grids and one reverse flood per distinct destination.
+    service = RoutingService(faults, mode="mcc")
     jobs = 400
-    stats = {"mcc": 0, "blind": 0, "ecube": 0, "feasible": 0}
-    hops_total = 0
+    pairs = []
     for _ in range(jobs):
         pair = sample_safe_pair(~faults, rng=rng, min_distance=8)
-        if pair is None:
-            continue
-        src, dst = pair
-        result = router.route(src, dst)
+        if pair is not None:
+            pairs.append(pair)
+    stats = {"mcc": 0, "blind": 0, "ecube": 0, "feasible": 0}
+    hops_total = 0
+    for (src, dst), result in zip(pairs, service.route_batch(pairs)):
         if result.feasible:
             stats["feasible"] += 1
         if result.delivered and result.is_minimal():

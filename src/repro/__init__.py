@@ -52,6 +52,7 @@ from repro.routing.oracle import (
     reverse_reachable,
 )
 from repro.routing.engine import AdaptiveRouter, RouteResult, route_adaptive
+from repro.routing.batch import RoutingService, route_batch
 from repro.routing.policies import (
     DiagonalPolicy,
     FixedOrderPolicy,
@@ -97,6 +98,8 @@ __all__ = [
     "AdaptiveRouter",
     "RouteResult",
     "route_adaptive",
+    "RoutingService",
+    "route_batch",
     "FixedOrderPolicy",
     "RandomPolicy",
     "DiagonalPolicy",

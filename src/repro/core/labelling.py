@@ -81,10 +81,12 @@ def _closure(fault_mask: np.ndarray, sign: int) -> np.ndarray:
         neigh = _shifted_blocked(blocked, 0, sign)
         for axis in range(1, ndim):
             neigh &= _shifted_blocked(blocked, axis, sign)
-        new_blocked = blocked | neigh
-        if new_blocked is blocked or bool(np.array_equal(new_blocked, blocked)):
+        # Only not-yet-blocked nodes can change; count them and update
+        # in place rather than allocating a fresh mask per sweep.
+        neigh &= ~blocked
+        if int(neigh.sum()) == 0:
             break
-        blocked = new_blocked
+        blocked |= neigh
     return blocked & ~fault_mask
 
 

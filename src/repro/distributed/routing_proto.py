@@ -12,11 +12,22 @@ Canonical-frame protocol (the pipeline orients the mesh per pair):
   by timeout at the source (a drained flood sends nothing).
 * **Routing** (step 2): ``ROUTE`` messages are forwarded hop by hop.
   Candidate directions are the preferred (+) axes; a candidate is
-  dropped when the neighbor is known-unsafe (local labels) or when a
+  deferred when the neighbor is known-unsafe (local labels) or when a
   local boundary record marks the neighbor as forbidden while the
   destination lies in the record's critical region — Algorithm 3 step
   2(b) from strictly node-local state.  Ties go to the lowest axis
-  (deterministic; the engine-level tests cover other policies).
+  (deterministic; the engine-level tests cover other policies).  A
+  walker that dead-ends *backtracks*: the token carries its visited
+  set, returns to the previous hop, and the search resumes with the
+  next candidate.  Labels and records cannot express traps that only
+  exist in the lower-dimensional problem left once an axis is
+  exhausted (``coord[a] == dest[a]`` — e.g. two MCCs whose 2-D
+  sections merge diagonally inside the remaining plane), so the walk
+  stays guided-greedy when the records suffice and degrades to a
+  depth-first search of the RMP when they do not, making delivery
+  exact: the walker reaches the destination iff a minimal path through
+  non-faulty nodes exists.  Committed moves are always +1 along an
+  axis, so a delivered path is minimal by construction.
 
 Outcomes are deposited at the source node's store: ``"queries"`` maps a
 query id to ``"delivered"``, ``"infeasible"`` or ``"stuck"`` plus the
@@ -41,24 +52,46 @@ class RoutingMixin(NodeProcess):
     # -- query bookkeeping (source side) ----------------------------------------
 
     def start_query(self, query_id: int, dest: Coord) -> None:
-        """Begin feasibility detection for a routing toward ``dest``."""
+        """Begin feasibility detection for a routing toward ``dest``.
+
+        Axes with zero offset collapse the RMP into a lower-dimensional
+        slice (the surface messages of Algorithm 6 verify one coordinate
+        each, which is vacuous along a degenerate axis), so the
+        detection is chosen by the number of *live* axes: three surface
+        floods for a full 3-D octant, two in-plane walks when one axis
+        is degenerate (and for 2-D meshes), and a single straight-line
+        walk when only one axis is live.
+        """
+        dest = tuple(dest)
         queries = self.store.setdefault("queries", {})
-        ndim = self.network.mesh.ndim
-        expected = 2 if ndim == 2 else 3
         queries[query_id] = {
-            "dest": tuple(dest),
+            "dest": dest,
             "status": "detecting",
             "oks": set(),
-            "expected": expected,
+            "expected": 0,
             "path": [self.coord],
         }
-        if tuple(dest) == self.coord:
+        if dest == self.coord:
             queries[query_id]["status"] = "delivered"
             return
-        if ndim == 2:
-            self._launch_detect_walks(query_id, tuple(dest))
+        live = tuple(
+            a for a in range(self.network.mesh.ndim) if dest[a] != self.coord[a]
+        )
+        if len(live) == 1:
+            queries[query_id]["expected"] = 1
+            self._launch_detect_walks(query_id, dest, ((live[0], None),))
+        elif len(live) == 2:
+            queries[query_id]["expected"] = 2
+            # Plane walks on a 3-D mesh consult full-class labels, which
+            # can under-block inside the slice: their failure verdict is
+            # advisory only (the exact backtracking walker settles it).
+            queries[query_id]["advisory"] = self.network.mesh.ndim == 3
+            self._launch_detect_walks(
+                query_id, dest, ((live[1], live[0]), (live[0], live[1]))
+            )
         else:
-            self._launch_detect_floods(query_id, tuple(dest))
+            queries[query_id]["expected"] = 3
+            self._launch_detect_floods(query_id, dest)
         timeout = _DETECT_TIMEOUT_FACTOR * (sum(self.network.mesh.shape) + 10)
         self.set_timer(timeout, f"detect-timeout:{query_id}")
 
@@ -73,13 +106,26 @@ class RoutingMixin(NodeProcess):
 
     # -- detection: 2-D greedy walks ------------------------------------------------
 
-    def _launch_detect_walks(self, query_id: int, dest: Coord) -> None:
-        for prefer_axis in (1, 0):
+    def _launch_detect_walks(
+        self,
+        query_id: int,
+        dest: Coord,
+        axes: tuple[tuple[int, int | None], ...],
+    ) -> None:
+        """Greedy walks, one per (prefer, detour) axis pair.
+
+        ``detour=None`` is the 1-D straight-line walk: any obstruction
+        fails it.  For a 2-D mesh ``axes`` is ((1, 0), (0, 1)) — the
+        paper's two walks; for a 3-D pair with one degenerate axis the
+        same two walks run inside the remaining plane.
+        """
+        for prefer_axis, detour_axis in axes:
             payload = {
                 "query": query_id,
                 "dest": list(dest),
                 "source": list(self.coord),
                 "prefer": prefer_axis,
+                "detour": detour_axis,
                 "trail": [list(self.coord)],
             }
             self._detect_walk_step(payload)
@@ -87,7 +133,7 @@ class RoutingMixin(NodeProcess):
     def _detect_walk_step(self, payload: dict[str, Any]) -> None:
         dest = tuple(payload["dest"])
         prefer = payload["prefer"]
-        detour = 1 - prefer
+        detour = payload.get("detour")
         if self.coord[prefer] == dest[prefer]:
             self._detect_reply(payload, ok=True)
             return
@@ -96,6 +142,9 @@ class RoutingMixin(NodeProcess):
         ahead = tuple(ahead)
         if self.network.mesh.contains(ahead) and not self._is_unsafe(ahead):
             self._detect_forward(payload, ahead)
+            return
+        if detour is None:
+            self._detect_reply(payload, ok=False)
             return
         side = list(self.coord)
         side[detour] += 1
@@ -196,7 +245,13 @@ class RoutingMixin(NodeProcess):
         if query is None or query["status"] != "detecting":
             return
         if kind == "DETECT_FAIL":
-            query["status"] = "infeasible"
+            if query.get("advisory"):
+                # Inconclusive reduced-problem detection: route anyway;
+                # the backtracking walker is exact either way.
+                query["status"] = "routing"
+                self._launch_route(payload["query"], query)
+            else:
+                query["status"] = "infeasible"
             return
         query["oks"].add(payload["which"])
         if len(query["oks"]) >= query["expected"]:
@@ -211,6 +266,7 @@ class RoutingMixin(NodeProcess):
             "dest": list(query["dest"]),
             "source": list(self.coord),
             "path": [list(self.coord)],
+            "visited": [list(self.coord)],
         }
         self._route_step(payload)
 
@@ -219,34 +275,60 @@ class RoutingMixin(NodeProcess):
         if self.coord == dest:
             self._route_done(payload, "delivered")
             return
-        axis = self._route_choose(dest)
-        if axis is None:
+        visited = {tuple(c) for c in payload["visited"]}
+        for axis in self._route_candidates(dest):
+            nxt = list(self.coord)
+            nxt[axis] += 1
+            nxt = tuple(nxt)
+            if nxt in visited:
+                continue
+            forward = dict(payload)
+            forward["path"] = payload["path"] + [list(nxt)]
+            forward["visited"] = payload["visited"] + [list(nxt)]
+            self.send(nxt, "ROUTE", forward, ttl=None)
+            return
+        # Dead end: every live successor already tried.  Backtrack the
+        # token one hop; the previous node resumes with its next
+        # candidate (each cell enters the visited set once, so the
+        # search is linear in the RMP size and always terminates).
+        path = [tuple(c) for c in payload["path"]]
+        if len(path) <= 1:
             self._route_done(payload, "stuck")
             return
-        nxt = list(self.coord)
-        nxt[axis] += 1
-        nxt = tuple(nxt)
-        payload = dict(payload)
-        payload["path"] = payload["path"] + [list(nxt)]
-        self.send(nxt, "ROUTE", payload, ttl=None)
+        back = dict(payload)
+        back["path"] = [list(c) for c in path[:-1]]
+        self.send(path[-2], "ROUTE", back, ttl=None)
 
-    def _route_choose(self, dest: Coord) -> int | None:
-        """Algorithm 3 step 2 from node-local state only."""
+    def _route_candidates(self, dest: Coord) -> list[int]:
+        """Preferred axes ordered by Algorithm 3 step 2, best first.
+
+        Live (non-faulty) preferred neighbors only; those permitted by
+        the local labels and boundary records come first.  Excluded
+        neighbors are deferred to the end rather than dropped outright:
+        per-MCC-section records cannot express every trap of the
+        reduced problem after an axis is exhausted, and the
+        backtracking walk corrects such excursions exactly.
+        """
         records = list(self.store.get("records", {}).values())
+        preferred: list[int] = []
+        deferred: list[int] = []
         for axis in range(len(self.coord)):
             if self.coord[axis] >= dest[axis]:
                 continue
             nxt = list(self.coord)
             nxt[axis] += 1
             nxt = tuple(nxt)
-            if not self.network.mesh.contains(nxt) or self._is_unsafe(nxt):
+            if not self.network.mesh.contains(nxt):
                 continue
-            if any(
+            if self.network.is_faulty(nxt):
+                continue  # never forward to a dead node
+            if self._is_unsafe(nxt) or any(
                 self._record_forbids(rec, nxt, axis, dest) for rec in records
             ):
-                continue
-            return axis
-        return None
+                deferred.append(axis)
+            else:
+                preferred.append(axis)
+        return preferred + deferred
 
     def _record_forbids(
         self, rec: dict[str, Any], neighbor: Coord, axis: int, dest: Coord

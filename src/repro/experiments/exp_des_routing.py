@@ -3,6 +3,11 @@
 Routes random canonical-frame pairs through the *distributed* stack and
 scores delivery, minimality (hop count = Manhattan distance), agreement
 with the oracle, and per-query message cost (detection + routing).
+
+The oracle ground truth comes from one batched
+:meth:`RoutingService.feasible_batch` call per fault pattern (one
+reverse flood per distinct destination) instead of a fresh flood per
+query.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask
 from repro.mesh.coords import manhattan
 from repro.mesh.topology import Mesh
-from repro.routing.oracle import minimal_path_exists
+from repro.routing.batch import RoutingService
 from repro.util.records import ResultTable
 from repro.util.rng import SeedLike, make_rng, spawn_rngs
 
@@ -46,6 +51,8 @@ def run_des_routing(
                 continue
             pipe = DistributedMCCPipeline(mesh, mask).build()
             cells = np.argwhere(safe)
+            batch = []
+            statuses = []
             for _ in range(queries):
                 i, j = rng.integers(0, cells.shape[0], size=2)
                 s = tuple(int(c) for c in np.minimum(cells[i], cells[j]))
@@ -56,9 +63,9 @@ def run_des_routing(
                 before = pipe.net.stats.total_messages
                 result = pipe.route(s, d)
                 msg_cost += pipe.net.stats.total_messages - before
-                want = minimal_path_exists(~mask, s, d)
-                oracle_ok += want
+                batch.append((s, d))
                 status = result["status"]
+                statuses.append(status)
                 if status == "delivered":
                     delivered += 1
                     if len(result["path"]) - 1 == manhattan(s, d):
@@ -67,7 +74,13 @@ def run_des_routing(
                     infeasible += 1
                 else:
                     stuck += 1
-                agree += (status == "delivered") == want
+            if batch:
+                wants = RoutingService(mask, mode="oracle").feasible_batch(batch)
+                oracle_ok += int(wants.sum())
+                agree += sum(
+                    (status == "delivered") == bool(want)
+                    for status, want in zip(statuses, wants)
+                )
         table.add(
             faults=count,
             queries=total,

@@ -15,6 +15,11 @@ admits a minimal path:
 Pairs whose endpoints fall inside a model's fault region count as
 failures for that model (the model refuses the routing), which is
 exactly how the fault-block literature scores success rates.
+
+The verdicts come from :class:`repro.routing.batch.RoutingService`:
+all pairs of a trial are checked with one ``feasible_batch`` call per
+model, which shares each direction class's ``LabelledGrid`` and one
+reverse flood per distinct destination across the whole trial.
 """
 
 from __future__ import annotations
@@ -22,33 +27,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.ecube import ecube_succeeds
-from repro.baselines.rfb import rfb_unsafe
-from repro.core.labelling import label_grid
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair
-from repro.mesh.orientation import Orientation
-from repro.routing.oracle import minimal_path_exists
+from repro.routing.batch import RoutingService
 from repro.util.records import ResultTable
 from repro.util.rng import SeedLike, spawn_rngs
-
-
-def _model_success(
-    fault_mask: np.ndarray,
-    unsafe_by_orientation: dict,
-    source: tuple,
-    dest: tuple,
-    model_unsafe,
-) -> bool:
-    """Monotone-path existence through the model's safe nodes."""
-    orientation = Orientation.for_pair(source, dest, fault_mask.shape)
-    key = orientation.signs
-    if key not in unsafe_by_orientation:
-        unsafe_by_orientation[key] = model_unsafe(orientation)
-    unsafe = unsafe_by_orientation[key]
-    s = orientation.map_coord(source)
-    d = orientation.map_coord(dest)
-    if unsafe[s] or unsafe[d]:
-        return False
-    return minimal_path_exists(~unsafe, s, d)
 
 
 def run_success_rate(
@@ -72,36 +54,20 @@ def run_success_rate(
         total = 0
         for _ in range(trials):
             mask = random_fault_mask(shape, count, rng=rng)
-            rfb = rfb_unsafe(mask)
-            mcc_by_o: dict = {}
-            rfb_by_o: dict = {}
-
-            def mcc_unsafe(orientation):
-                return label_grid(mask, orientation).unsafe_mask
-
-            def rfb_unsafe_oriented(orientation):
-                return orientation.to_canonical(rfb)
-
+            batch = []
             for _ in range(pairs):
                 pair = sample_safe_pair(~mask, rng=rng, min_distance=2)
-                if pair is None:
-                    continue
-                source, dest = pair
-                total += 1
-                orientation = Orientation.for_pair(source, dest, shape)
-                open_canon = orientation.to_canonical(~mask)
-                if minimal_path_exists(
-                    open_canon,
-                    orientation.map_coord(source),
-                    orientation.map_coord(dest),
-                ):
-                    wins["oracle"] += 1
-                if _model_success(mask, mcc_by_o, source, dest, mcc_unsafe):
-                    wins["mcc"] += 1
-                if _model_success(mask, rfb_by_o, source, dest, rfb_unsafe_oriented):
-                    wins["rfb"] += 1
-                if ecube_succeeds(mask, source, dest):
-                    wins["ecube"] += 1
+                if pair is not None:
+                    batch.append(pair)
+            total += len(batch)
+            if not batch:
+                continue
+            for model in ("oracle", "mcc", "rfb"):
+                verdicts = RoutingService(mask, mode=model).feasible_batch(batch)
+                wins[model] += int(verdicts.sum())
+            wins["ecube"] += sum(
+                ecube_succeeds(mask, source, dest) for source, dest in batch
+            )
         table.add(
             faults=count,
             fault_rate=count / float(np.prod(shape)),

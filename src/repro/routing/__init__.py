@@ -4,9 +4,12 @@ from repro.routing.oracle import (
     forward_reachable,
     minimal_path_exists,
     monotone_flood,
+    monotone_flood_many,
     reverse_reachable,
+    reverse_reachable_many,
 )
 from repro.routing.engine import AdaptiveRouter, RouteResult, route_adaptive
+from repro.routing.batch import RoutingService, route_batch
 from repro.routing.policies import (
     DiagonalPolicy,
     FixedOrderPolicy,
@@ -16,12 +19,16 @@ from repro.routing.policies import (
 
 __all__ = [
     "monotone_flood",
+    "monotone_flood_many",
     "forward_reachable",
     "reverse_reachable",
+    "reverse_reachable_many",
     "minimal_path_exists",
     "AdaptiveRouter",
     "RouteResult",
     "route_adaptive",
+    "RoutingService",
+    "route_batch",
     "DiagonalPolicy",
     "FixedOrderPolicy",
     "RandomPolicy",

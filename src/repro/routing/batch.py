@@ -1,0 +1,294 @@
+"""Batched routing service: many pairs over one fault pattern.
+
+The experiment sweeps (T2/T4), the DES workloads, and the fault-block
+literature's evaluation methodology all route *batches* — tens of
+thousands of (source, destination) pairs against a single fault pattern.
+Doing that through one-shot :func:`repro.routing.engine.route_adaptive`
+re-derives every piece of model state per pair: the ``LabelledGrid``,
+the MCC walls, and a reverse-reachability flood per destination.
+
+:class:`RoutingService` shares all of it:
+
+* pairs are grouped by **direction class**, so each ``LabelledGrid`` +
+  wall set is built once per class (at most 2^n builds per batch);
+* within a class, pairs are grouped by **destination**, so one reverse
+  flood serves every pair headed there — and the grouped order makes
+  the engine's LRU-bounded reach caches hit even at tiny capacities;
+* the batch **feasibility check is vectorized**: the cached reach mask
+  is indexed at all sources of a group in one fancy-index operation
+  instead of one flood (or one mask probe) per pair;
+* per-destination reach masks are LRU-bounded (``reach_cache_size``),
+  so million-pair workloads do not grow memory without limit.
+
+Results are element-wise identical to per-pair
+:meth:`AdaptiveRouter.route` for stateless policies (fixed/diagonal —
+property-tested).  A stateful policy such as ``RandomPolicy`` draws in
+grouped order rather than input order, so individual paths may differ
+while delivery verdicts still agree with the model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.mesh.coords import Coord
+from repro.mesh.orientation import Orientation
+from repro.routing.engine import (
+    DEFAULT_REACH_CACHE_SIZE,
+    AdaptiveRouter,
+    RouteResult,
+    _ClassModel,
+)
+from repro.routing.policies import Policy
+
+Pair = tuple[Coord, Coord]
+
+#: Destinations per batched reverse-flood kernel call.  Bounds the
+#: transient stacked-mask memory (chunk x mesh bools) while amortizing
+#: the DP's Python loops across the chunk.
+PRIME_CHUNK = 64
+
+
+def _as_pair(pair: Sequence[Sequence[int]]) -> Pair:
+    source, dest = pair
+    return (
+        tuple(int(c) for c in source),
+        tuple(int(c) for c in dest),
+    )
+
+
+class RoutingService:
+    """Routes batches of pairs over one fault pattern with shared state.
+
+    A thin orchestration layer over :class:`AdaptiveRouter`: the router
+    owns the per-class models and LRU reach caches; the service owns the
+    batch decomposition (class -> destination -> vectorized feasibility)
+    and result ordering.  ``service.route`` is exactly one-pair routing
+    through the same shared caches.
+    """
+
+    def __init__(
+        self,
+        fault_mask: np.ndarray,
+        mode: str = "mcc",
+        policy: Policy | None = None,
+        max_hops: int | None = None,
+        reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
+    ):
+        self.router = AdaptiveRouter(
+            fault_mask,
+            mode=mode,
+            policy=policy,
+            max_hops=max_hops,
+            reach_cache_size=reach_cache_size,
+        )
+
+    @property
+    def fault_mask(self) -> np.ndarray:
+        return self.router.fault_mask
+
+    @property
+    def mode(self) -> str:
+        return self.router.mode
+
+    def labelled(self, orientation: Orientation | None = None):
+        """The cached :class:`LabelledGrid` for a direction class.
+
+        Shares the router's per-class models, so e.g. the region
+        experiments and a subsequent batch over the same pattern label
+        the grid once.  Not available in blind mode for "mcc"/"rfb"
+        semantics — it returns whatever grid the mode builds.
+        """
+        if orientation is None:
+            orientation = Orientation.identity(self.router.fault_mask.shape)
+        return self.router._model_for(orientation).labelled
+
+    # -- single pair -------------------------------------------------------
+
+    def route(self, source: Sequence[int], dest: Sequence[int]) -> RouteResult:
+        """Route one pair through the shared model caches."""
+        return self.router.route(source, dest)
+
+    # -- batched routing ---------------------------------------------------
+
+    def route_batch(
+        self, pairs: Iterable[Sequence[Sequence[int]]]
+    ) -> list[RouteResult]:
+        """Route every (source, dest) pair; results in input order."""
+        pairs = [_as_pair(p) for p in pairs]
+        results: list[RouteResult | None] = [None] * len(pairs)
+        for orientation, model, members in self._grouped(pairs, results):
+            self._route_group(orientation, model, members, results)
+        return results  # type: ignore[return-value]
+
+    def feasible_batch(
+        self, pairs: Iterable[Sequence[Sequence[int]]]
+    ) -> np.ndarray:
+        """Vectorized model feasibility verdict per pair (input order).
+
+        True exactly when :meth:`route` would proceed past its checks:
+        non-faulty endpoints, model-safe endpoints (mcc/rfb), and a
+        model-permitted minimal path.  Blind mode has no feasibility
+        notion and raises.
+        """
+        if self.mode == "blind":
+            raise ValueError("blind mode has no feasibility model")
+        pairs = [_as_pair(p) for p in pairs]
+        out = np.zeros(len(pairs), dtype=bool)
+        results: list[RouteResult | None] = [None] * len(pairs)
+        for _orientation, model, members in self._grouped(pairs, results):
+            for chunk in self._primed_chunks(model, members):
+                for indices, sources, dest in chunk:
+                    out[indices] = self._group_feasible(model, sources, dest)
+        return out
+
+    # -- batch decomposition -----------------------------------------------
+
+    def _grouped(self, pairs: list[Pair], results: list[RouteResult | None]):
+        """Split pairs into per-direction-class groups.
+
+        Faulty-endpoint pairs are resolved immediately into ``results``
+        (vectorized mesh-frame check) and excluded from the groups.
+        Yields ``(orientation, model, members)`` per class where
+        ``members`` is a list of (input_index, canonical_src,
+        canonical_dst, mesh_src).
+        """
+        fault_mask = self.router.fault_mask
+        shape = fault_mask.shape
+        if not pairs:
+            return
+        arr = np.asarray(pairs, dtype=np.intp)  # (n, 2, ndim)
+        src_idx = tuple(arr[:, 0, a] for a in range(arr.shape[2]))
+        dst_idx = tuple(arr[:, 1, a] for a in range(arr.shape[2]))
+        endpoint_faulty = fault_mask[src_idx] | fault_mask[dst_idx]
+
+        by_class: dict[tuple[int, ...], list] = {}
+        for i, (source, dest) in enumerate(pairs):
+            if endpoint_faulty[i]:
+                results[i] = RouteResult(
+                    delivered=False,
+                    path=[source],
+                    feasible=False,
+                    reason="endpoint faulty",
+                )
+                continue
+            signs = Orientation.for_pair(source, dest, shape).signs
+            by_class.setdefault(signs, []).append((i, source, dest))
+        for signs, items in by_class.items():
+            orientation = Orientation(signs, tuple(shape))
+            model = self.router._model_for(orientation)
+            members = [
+                (i, orientation.map_coord(src), orientation.map_coord(dst), src)
+                for i, src, dst in items
+            ]
+            yield orientation, model, members
+
+    @staticmethod
+    def _dest_groups(members: list):
+        """Regroup one class's members by canonical destination.
+
+        Yields ``(indices, sources, dest)`` with ``indices`` an int array
+        of input positions and ``sources`` the canonical source coords.
+        """
+        by_dest: dict[Coord, list] = {}
+        for i, s, d, src in members:
+            by_dest.setdefault(d, []).append((i, s, src))
+        for dest, group in by_dest.items():
+            indices = np.asarray([g[0] for g in group], dtype=np.intp)
+            sources = [g[1] for g in group]
+            yield indices, sources, dest
+
+    def _group_feasible(
+        self, model: _ClassModel, sources: list[Coord], dest: Coord
+    ) -> np.ndarray:
+        """Model verdicts for many sources sharing one destination.
+
+        One cached flood + one fancy-index per group, replacing a flood
+        (oracle) or mask probe (mcc/rfb) per pair.
+        """
+        coords = tuple(np.asarray(sources, dtype=np.intp).T)
+        if self.mode == "oracle":
+            blocked = self.router._oracle_blocked(model, dest)
+            return ~blocked[coords]
+        # mcc / rfb: safe endpoints, then model reachability.
+        safe = model.labelled.safe_mask
+        ok = np.full(len(sources), bool(safe[dest]), dtype=bool)
+        if ok.any():
+            ok &= safe[coords]
+        if ok.any():
+            ok &= model.reach_mask(dest)[coords]
+        return ok
+
+    def _route_group(
+        self,
+        orientation: Orientation,
+        model: _ClassModel,
+        members: list,
+        results: list[RouteResult | None],
+    ) -> None:
+        """Route one direction-class group, destination-major."""
+        router = self.router
+        by_index = {m[0]: m for m in members}
+        for chunk in self._primed_chunks(model, members):
+            for indices, sources, dest in chunk:
+                if self.mode == "blind":
+                    feasible = None
+                else:
+                    feasible = self._group_feasible(model, sources, dest)
+                for k, idx in enumerate(indices):
+                    _, s, d, src = by_index[int(idx)]
+                    if feasible is not None and not feasible[k]:
+                        # Match route()'s refusal reason exactly.
+                        reason = router._infeasible_reason(model, s, d)
+                        results[int(idx)] = RouteResult(
+                            delivered=False,
+                            path=[src],
+                            feasible=False,
+                            reason=reason or "infeasible",
+                        )
+                        continue
+                    results[int(idx)] = router._forward(model, orientation, s, d)
+
+    def _primed_chunks(self, model: _ClassModel, members: list):
+        """Destination groups in chunks, reach caches pre-warmed per chunk.
+
+        Each chunk's reverse floods run as ONE batched DP
+        (:func:`repro.routing.oracle.reverse_reachable_many`) instead of
+        one Python-loop flood per destination; the chunk size never
+        exceeds the LRU bound, so a primed mask cannot be evicted before
+        its group is processed.
+        """
+        groups = list(self._dest_groups(members))
+        chunk = PRIME_CHUNK
+        cache_bound = self.router.reach_cache_size
+        if cache_bound is not None:
+            chunk = min(chunk, cache_bound)
+        for start in range(0, len(groups), chunk):
+            block = groups[start : start + chunk]
+            dests = [dest for _indices, _sources, dest in block]
+            if self.mode in ("mcc", "rfb"):
+                model.prime_reach(dests)
+            elif self.mode == "oracle":
+                self.router._prime_oracle(model, dests)
+            yield block
+
+
+def route_batch(
+    fault_mask: np.ndarray,
+    pairs: Iterable[Sequence[Sequence[int]]],
+    mode: str = "mcc",
+    policy: Policy | None = None,
+    max_hops: int | None = None,
+    reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
+) -> list[RouteResult]:
+    """Route many pairs over one fault pattern with shared model state."""
+    service = RoutingService(
+        fault_mask,
+        mode=mode,
+        policy=policy,
+        max_hops=max_hops,
+        reach_cache_size=reach_cache_size,
+    )
+    return service.route_batch(pairs)

@@ -16,6 +16,11 @@
 In "oracle" mode the exclusion rule is exact reverse reachability — the
 reference the MCC mode must match (property P3).  "blind" mode uses no
 model at all (baseline).
+
+All model state is cached: one ``_ClassModel`` per direction class and
+one reverse-reachability mask per destination (LRU-bounded, see
+``reach_cache_size``).  :mod:`repro.routing.batch` exploits exactly these
+caches to route many pairs over one pattern without redundant work.
 """
 
 from __future__ import annotations
@@ -31,17 +36,28 @@ from repro.core.labelling import FAULTY, USELESS, LabelledGrid, label_grid
 from repro.core.walls import Wall, build_walls
 from repro.mesh.coords import Coord, manhattan
 from repro.mesh.orientation import Orientation
-from repro.routing.oracle import minimal_path_exists, reverse_reachable
+from repro.routing.oracle import reverse_reachable, reverse_reachable_many
 from repro.routing.policies import FixedOrderPolicy, Policy
+from repro.util.caching import LRUCache
+
+#: Default bound on cached per-destination reachability masks (per class).
+DEFAULT_REACH_CACHE_SIZE = 1024
 
 
 @dataclass
 class RouteResult:
-    """Outcome of one routing attempt (mesh-frame coordinates)."""
+    """Outcome of one routing attempt (mesh-frame coordinates).
+
+    ``feasible`` is the fault-information model's verdict on minimal-path
+    existence: True/False when a model ran its check, ``None`` when no
+    check ever ran (blind mode failures — the model has no opinion).
+    A delivered result always reports ``feasible=True``: the traversed
+    path itself is the existence proof.
+    """
 
     delivered: bool
     path: list[Coord]
-    feasible: bool
+    feasible: bool | None
     stuck_at: Coord | None = None
     reason: str = ""
 
@@ -81,6 +97,7 @@ class _ClassModel:
         labelled: LabelledGrid,
         walls: list[Wall],
         labeller=label_grid,
+        reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
     ):
         self.labelled = labelled
         self.walls = walls
@@ -88,15 +105,30 @@ class _ClassModel:
         self.unsafe = labelled.unsafe_mask
         status = labelled.status
         self._blocked = (status == FAULTY) | (status == USELESS)
-        # Reverse-reachability through permitted cells, per destination.
-        self._reach: dict[Coord, np.ndarray] = {}
+        self._open = ~self._blocked
+        # Reverse-reachability through permitted cells, per destination
+        # (LRU-bounded: million-pair workloads touch many destinations).
+        self._reach: LRUCache[Coord, np.ndarray] = LRUCache(reach_cache_size)
+
+    def reach_mask(self, dest: Coord) -> np.ndarray:
+        """Cells that can still reach ``dest`` through permitted cells."""
+        mask = self._reach.get(dest)
+        if mask is None:
+            mask = self._reach.put(dest, reverse_reachable(self._open, dest))
+        return mask
+
+    def prime_reach(self, dests: Sequence[Coord]) -> None:
+        """Warm the reach cache for many destinations with one batched DP."""
+        missing = [d for d in dests if d not in self._reach]
+        if not missing:
+            return
+        stacked = reverse_reachable_many(self._open, missing)
+        for dest, mask in zip(missing, stacked):
+            self._reach.put(dest, np.ascontiguousarray(mask))
 
     def _reach_ok(self, cell: Coord, dest: Coord) -> bool:
         """Can ``cell`` still reach ``dest`` through permitted cells?"""
-        if dest not in self._reach:
-            open_mask = ~self._blocked
-            self._reach[dest] = reverse_reachable(open_mask, dest)
-        return bool(self._reach[dest][cell])
+        return bool(self.reach_mask(dest)[cell])
 
     def allowed(self, cell: Coord, dest: Coord) -> bool:
         """May a minimal routing toward ``dest`` step onto ``cell``?"""
@@ -141,6 +173,10 @@ class AdaptiveRouter:
     * ``"rfb"``    — same machinery over rectangular faulty blocks;
     * ``"oracle"`` — exact reverse-reachability exclusions (reference);
     * ``"blind"``  — no model; only faulty neighbors are avoided.
+
+    ``reach_cache_size`` bounds the per-destination reachability masks
+    cached by each class model (and oracle mode's forbidden-set masks);
+    ``None`` disables the bound.
     """
 
     MODES = ("mcc", "rfb", "oracle", "blind")
@@ -151,6 +187,7 @@ class AdaptiveRouter:
         mode: str = "mcc",
         policy: Policy | None = None,
         max_hops: int | None = None,
+        reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
     ):
         if mode not in self.MODES:
             raise ValueError(f"unknown router mode {mode!r}; pick from {self.MODES}")
@@ -158,9 +195,12 @@ class AdaptiveRouter:
         self.mode = mode
         self.policy = policy or FixedOrderPolicy()
         self.max_hops = max_hops
+        self.reach_cache_size = reach_cache_size
         self._models: dict[tuple[int, ...], _ClassModel] = {}
         # Oracle mode: reverse-reachability masks cached per (class, dest).
-        self._blocked_cache: dict[tuple[tuple[int, ...], Coord], np.ndarray] = {}
+        self._blocked_cache: LRUCache[
+            tuple[tuple[int, ...], Coord], np.ndarray
+        ] = LRUCache(reach_cache_size)
 
     # -- model construction (cached per direction class) -------------------
 
@@ -170,15 +210,46 @@ class AdaptiveRouter:
             if self.mode == "rfb":
                 labelled = rfb_labelled(self.fault_mask, orientation)
                 labeller = rfb_labelled
-            else:
+            elif self.mode == "mcc":
                 labelled = label_grid(self.fault_mask, orientation)
+                labeller = label_grid
+            else:
+                # oracle/blind consult only the fault mask: skip the
+                # labelling fixed point and mark faults directly.
+                status = orientation.to_canonical(self.fault_mask).astype(np.int8)
+                status *= FAULTY
+                labelled = LabelledGrid(status=status, orientation=orientation)
                 labeller = label_grid
             if self.mode in ("mcc", "rfb"):
                 walls = build_walls(extract_mccs(labelled))
             else:
                 walls = []
-            self._models[key] = _ClassModel(labelled, walls, labeller)
+            self._models[key] = _ClassModel(
+                labelled, walls, labeller, self.reach_cache_size
+            )
         return self._models[key]
+
+    def _oracle_blocked(self, model: _ClassModel, dest: Coord) -> np.ndarray:
+        """Oracle forbidden set for ``dest``: cells that cannot reach it."""
+        key = (model.labelled.orientation.signs, dest)
+        blocked = self._blocked_cache.get(key)
+        if blocked is None:
+            open_mask = ~model.labelled.fault_mask
+            blocked = self._blocked_cache.put(
+                key, ~reverse_reachable(open_mask, dest)
+            )
+        return blocked
+
+    def _prime_oracle(self, model: _ClassModel, dests: Sequence[Coord]) -> None:
+        """Warm the oracle forbidden-set cache for many destinations."""
+        signs = model.labelled.orientation.signs
+        missing = [d for d in dests if (signs, d) not in self._blocked_cache]
+        if not missing:
+            return
+        open_mask = ~model.labelled.fault_mask
+        stacked = reverse_reachable_many(open_mask, missing)
+        for dest, mask in zip(missing, stacked):
+            self._blocked_cache.put((signs, dest), np.ascontiguousarray(~mask))
 
     # -- routing -------------------------------------------------------------
 
@@ -187,32 +258,48 @@ class AdaptiveRouter:
         source = tuple(int(c) for c in source)
         dest = tuple(int(c) for c in dest)
         if self.fault_mask[source] or self.fault_mask[dest]:
-            raise ValueError("endpoints must be non-faulty")
+            # A failed result, not an exception: dynamic-fault workloads
+            # (MeshNetwork.inject_fault) route to endpoints that died
+            # mid-run, which must score as failures, not crash the sweep.
+            return RouteResult(
+                delivered=False,
+                path=[source],
+                feasible=False,
+                reason="endpoint faulty",
+            )
         orientation = Orientation.for_pair(source, dest, self.fault_mask.shape)
         s = orientation.map_coord(source)
         d = orientation.map_coord(dest)
         model = self._model_for(orientation)
 
+        reason = self._infeasible_reason(model, s, d)
+        if reason is not None:
+            return RouteResult(
+                delivered=False, path=[source], feasible=False, reason=reason
+            )
+        return self._forward(model, orientation, s, d)
+
+    def _infeasible_reason(
+        self, model: _ClassModel, s: Coord, d: Coord
+    ) -> str | None:
+        """The model's refusal reason for a canonical pair, or None (go).
+
+        Blind mode has no feasibility check: it just tries.
+        """
         if self.mode in ("mcc", "rfb"):
             if not model.endpoints_safe(s, d):
-                return RouteResult(
-                    delivered=False,
-                    path=[source],
-                    feasible=False,
-                    reason="endpoint inside fault region",
-                )
+                return "endpoint inside fault region"
             if not model.feasible(s, d):
-                return RouteResult(
-                    delivered=False, path=[source], feasible=False, reason="infeasible"
-                )
+                return "infeasible"
         elif self.mode == "oracle":
-            open_mask = ~model.labelled.fault_mask
-            if not minimal_path_exists(open_mask, s, d):
-                return RouteResult(
-                    delivered=False, path=[source], feasible=False, reason="infeasible"
-                )
-        # blind mode has no feasibility check: it just tries.
+            if self._oracle_blocked(model, d)[s]:
+                return "infeasible"
+        return None
 
+    def _forward(
+        self, model: _ClassModel, orientation: Orientation, s: Coord, d: Coord
+    ) -> RouteResult:
+        """Hop-by-hop forwarding loop after a passed (or absent) check."""
         pos = s
         canonical_path = [pos]
         budget = self.max_hops if self.max_hops is not None else manhattan(s, d) + 1
@@ -236,11 +323,7 @@ class AdaptiveRouter:
         if self.mode in ("mcc", "rfb"):
             return model.candidates(pos, dest)
         if self.mode == "oracle":
-            key = (model.labelled.orientation.signs, dest)
-            if key not in self._blocked_cache:
-                open_mask = ~model.labelled.fault_mask
-                self._blocked_cache[key] = ~reverse_reachable(open_mask, dest)
-            blocked = self._blocked_cache[key]
+            blocked = self._oracle_blocked(model, dest)
             out = []
             for axis in range(len(pos)):
                 if pos[axis] >= dest[axis]:
@@ -265,10 +348,13 @@ class AdaptiveRouter:
         self, orientation: Orientation, canonical_path: list[Coord], reason: str
     ) -> RouteResult:
         path = [orientation.unmap_coord(c) for c in canonical_path]
+        # Reaching the forwarding loop means the model's feasibility check
+        # passed — except in blind mode, where no check ever ran and the
+        # honest verdict is "unknown".
         return RouteResult(
             delivered=False,
             path=path,
-            feasible=True,
+            feasible=None if self.mode == "blind" else True,
             stuck_at=path[-1],
             reason=reason,
         )
@@ -281,8 +367,15 @@ def route_adaptive(
     mode: str = "mcc",
     policy: Policy | None = None,
 ) -> RouteResult:
-    """One-shot convenience wrapper around :class:`AdaptiveRouter`."""
-    return AdaptiveRouter(fault_mask, mode=mode, policy=policy).route(source, dest)
+    """One-shot convenience wrapper around :class:`RoutingService`.
+
+    Builds model state for a single pair and throws it away — batch
+    workloads should hold a :class:`repro.routing.batch.RoutingService`
+    (or at least one :class:`AdaptiveRouter`) instead.
+    """
+    from repro.routing.batch import RoutingService
+
+    return RoutingService(fault_mask, mode=mode, policy=policy).route(source, dest)
 
 
 def explore_all_choices(

@@ -90,6 +90,35 @@ def monotone_flood_reference(
     return out
 
 
+def monotone_flood_many(open_mask: np.ndarray, seed_masks: np.ndarray) -> np.ndarray:
+    """Batched monotone flood: one open mask, many seed masks.
+
+    ``seed_masks`` has shape (B, *open_mask.shape); the result marks, per
+    batch entry, the cells reachable from that entry's seeds.  The DP is
+    the same slab recursion as :func:`monotone_flood` but every numpy
+    operation carries the batch axis, so the Python-loop overhead is paid
+    once per slab for B floods — the kernel behind the batch routing
+    service's grouped reverse floods.
+    """
+    open_mask = np.asarray(open_mask, dtype=bool)
+    seed_masks = np.asarray(seed_masks, dtype=bool)
+    if seed_masks.shape[1:] != open_mask.shape:
+        raise ValueError(
+            f"seed batch shape {seed_masks.shape} must be (B, *{open_mask.shape})"
+        )
+    if open_mask.ndim == 1:
+        return _flood_1d_rows(
+            np.broadcast_to(open_mask, seed_masks.shape), seed_masks
+        )
+    out = np.zeros_like(seed_masks)
+    carry = np.zeros((seed_masks.shape[0],) + open_mask.shape[1:], dtype=bool)
+    for x0 in range(open_mask.shape[0]):
+        slab = monotone_flood_many(open_mask[x0], seed_masks[:, x0] | carry)
+        out[:, x0] = slab
+        carry = slab
+    return out
+
+
 def _seed_at(shape: Sequence[int], coord: Sequence[int]) -> np.ndarray:
     seed = np.zeros(tuple(shape), dtype=bool)
     seed[tuple(coord)] = True
@@ -112,6 +141,25 @@ def reverse_reachable(open_mask: np.ndarray, dest: Sequence[int]) -> np.ndarray:
     flipped_dest = tuple(k - 1 - c for c, k in zip(dest, open_mask.shape))
     flooded = monotone_flood(flipped_open, _seed_at(open_mask.shape, flipped_dest))
     return np.flip(flooded, axis=axes)
+
+
+def reverse_reachable_many(
+    open_mask: np.ndarray, dests: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Stacked :func:`reverse_reachable` masks, one per destination.
+
+    Returns shape (len(dests), *open_mask.shape).  Equivalent to calling
+    :func:`reverse_reachable` per destination but amortizes the DP's
+    Python loops across the whole batch.
+    """
+    open_mask = np.asarray(open_mask, dtype=bool)
+    axes = tuple(range(open_mask.ndim))
+    flipped_open = np.flip(open_mask, axis=axes)
+    seeds = np.zeros((len(dests),) + open_mask.shape, dtype=bool)
+    for b, dest in enumerate(dests):
+        seeds[b][tuple(k - 1 - c for c, k in zip(dest, open_mask.shape))] = True
+    flooded = monotone_flood_many(flipped_open, seeds)
+    return np.flip(flooded, axis=tuple(a + 1 for a in axes))
 
 
 def minimal_path_exists(

@@ -1,0 +1,60 @@
+"""Bounded caches for the routing hot path.
+
+The per-destination reverse-reachability masks the router memoizes are
+small (one bool per node) but unbounded workloads touch unboundedly many
+destinations: a million-pair batch over a 64^3 mesh would otherwise pin
+hundreds of thousands of masks.  ``LRUCache`` keeps the most recently
+used entries and evicts the rest; the batch layer orders work by
+destination, so grouped workloads hit the cache even at tiny capacities.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A dict bounded to ``maxsize`` entries with least-recently-used eviction.
+
+    ``maxsize=None`` disables eviction (plain dict behaviour); ``maxsize``
+    must otherwise be positive.
+    """
+
+    def __init__(self, maxsize: int | None = None):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError(f"LRUCache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K) -> V | None:
+        """The cached value (refreshing recency), or None."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: K, value: V) -> V:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

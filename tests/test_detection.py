@@ -11,6 +11,46 @@ from repro.mesh.regions import mask_of_cells
 from tests.conftest import oracle_feasible, random_mask
 
 
+class TestDetectionRegressions:
+    """Pinned counterexamples found by the oracle-agreement fuzzing."""
+
+    def test_degenerate_axis_reduces_to_slice(self):
+        # s and d share x=0: the RMP is a 2-D slice, where the faults
+        # cut every monotone path.  The 3-D surface messages each verify
+        # only a 1-D projection here and used to report feasible.
+        mask = mask_of_cells(
+            [(0, 0, 1), (0, 1, 0), (0, 1, 1), (1, 0, 0), (2, 1, 1),
+             (2, 1, 4), (3, 0, 3), (3, 1, 2), (3, 1, 4), (4, 1, 1),
+             (4, 2, 1)],
+            (5, 5, 5),
+        )
+        s, d = (0, 2, 2), (0, 0, 0)
+        assert not oracle_feasible(mask, s, d)
+        assert not detection_feasible(mask, s, d)
+
+    def test_three_reachable_faces_but_no_corner_path(self):
+        # All three RMP faces are individually reachable, yet a diagonal
+        # barrier cuts every single s->d path: the surface-message
+        # conjunction alone is not sufficient in 3-D.
+        mask = mask_of_cells(
+            [(0, 0, 0), (0, 2, 0), (0, 4, 2), (1, 3, 3), (1, 4, 2),
+             (2, 1, 2), (2, 2, 1), (2, 3, 0), (3, 3, 1), (4, 0, 1),
+             (4, 1, 0)],
+            (5, 5, 5),
+        )
+        s, d = (1, 4, 3), (2, 1, 0)
+        assert not oracle_feasible(mask, s, d)
+        assert not detection_feasible(mask, s, d)
+
+    def test_degenerate_line_and_point_pairs(self):
+        mask = mask_of_cells([(2, 2, 2)], (5, 5, 5))
+        # Two degenerate axes: a fault on the connecting segment.
+        assert not detection_feasible(mask, (2, 2, 0), (2, 2, 4))
+        assert detection_feasible(mask, (2, 0, 2), (2, 1, 2))
+        # Source == destination.
+        assert detection_feasible(mask, (1, 1, 1), (1, 1, 1))
+
+
 class TestWalks2D:
     def test_fault_free_trivially_feasible(self):
         lab = label_grid(np.zeros((8, 8), dtype=bool))

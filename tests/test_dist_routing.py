@@ -62,6 +62,45 @@ class TestRouting2D:
 
 
 class TestRouting3D:
+    def test_backtracks_out_of_section_trap(self):
+        # Regression (fuzz-found): routing (0,0,0) -> (1,5,3) exhausts
+        # the x axis after one hop; inside the remaining x=1 plane the
+        # faults (1,3,0) and (1,2,1) merge diagonally, a trap no
+        # per-MCC-section boundary record expresses.  The walker used
+        # to die at (1,2,0); it must backtrack and deliver minimally.
+        mask = mask_of_cells(
+            [(0, 1, 0), (0, 1, 5), (0, 4, 3), (1, 1, 4), (1, 2, 1),
+             (1, 3, 0), (2, 4, 4), (3, 1, 1)],
+            (6, 6, 6),
+        )
+        assert minimal_path_exists(~mask, (0, 0, 0), (1, 5, 3))
+        pipe = DistributedMCCPipeline(Mesh3D(6), mask).build()
+        result = pipe.route((0, 0, 0), (1, 5, 3))
+        assert result["status"] == "delivered"
+        path = result["path"]
+        assert len(path) - 1 == manhattan((0, 0, 0), (1, 5, 3))
+        assert is_monotone_path(path)
+        assert not any(mask[c] for c in path)
+
+    def test_degenerate_axis_query_not_misreported_infeasible(self):
+        # Regression (review-found): a degenerate-axis pair used to run
+        # the three 3-D surface floods, which can drain without reaching
+        # their targets inside the collapsed RMP, timing out into a
+        # false "infeasible".  Reduced pairs now run in-plane walks with
+        # advisory failure semantics.
+        mask = mask_of_cells(
+            [(0, 3, 3), (0, 3, 4), (1, 2, 1), (1, 2, 4), (1, 4, 0),
+             (2, 4, 0), (2, 4, 2), (3, 4, 2), (4, 0, 2), (4, 1, 1),
+             (4, 2, 4), (4, 3, 0)],
+            (5, 5, 5),
+        )
+        s, d = (4, 0, 0), (4, 3, 4)
+        assert minimal_path_exists(~mask, s, d)
+        pipe = DistributedMCCPipeline(Mesh3D(5), mask).build()
+        result = pipe.route(s, d)
+        assert result["status"] == "delivered"
+        assert len(result["path"]) - 1 == manhattan(s, d)
+
     def test_fig5_routes_minimally(self, fig5_mask):
         pipe = DistributedMCCPipeline(Mesh3D(10), fig5_mask)
         result = pipe.route((0, 0, 0), (9, 9, 9))

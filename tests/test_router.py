@@ -46,10 +46,14 @@ class TestBasics:
         assert not result.delivered
         assert result.reason == "endpoint inside fault region"
 
-    def test_faulty_endpoint_rejected(self):
+    def test_faulty_endpoint_fails_cleanly(self):
+        # A failed result, not an exception: dynamic-fault DES workloads
+        # route to endpoints that died mid-run.
         mask = mask_of_cells([(0, 0)], (4, 4))
-        with pytest.raises(ValueError):
-            route_adaptive(mask, (0, 0), (3, 3))
+        result = route_adaptive(mask, (0, 0), (3, 3))
+        assert not result.delivered and result.feasible is False
+        assert result.reason == "endpoint faulty"
+        assert result.path == [(0, 0)]
 
     def test_bad_mode_rejected(self):
         with pytest.raises(ValueError):
