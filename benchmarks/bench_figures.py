@@ -2,8 +2,6 @@
 
 from benchmarks.conftest import emit
 from repro.experiments import figures
-from repro.mesh.regions import mask_of_cells
-from repro.core.labelling import label_grid
 
 
 def test_fig1(benchmark):

@@ -1,0 +1,159 @@
+"""B: multi-pattern sweep scaling — sharded runner vs the serial loop.
+
+The acceptance target for the sharded sweep runner: on a 12^3 mesh the
+T2 success-rate sweep with 4 workers must beat the serial in-process
+pattern loop by at least 2x (near-linear on enough cores) while the
+merged result tables stay **byte-identical** for 1, 2, and 4 shards.
+
+The identity half of the gate is unconditional.  The speedup half is
+physical: a 4-worker run cannot beat serial on a single-core container,
+so when fewer than 2 CPUs are available the speedup assertion is
+reported but skipped (the CI smoke gate runs on multi-core runners).
+
+Run standalone for the full comparison::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_sharding.py
+    PYTHONPATH=src python benchmarks/bench_sweep_sharding.py \
+        --shape 8 8 8 --fault-counts 10 30 --trials 6 --pairs 60 \
+        --workers 2 --min-speedup 1.2   # CI smoke gate
+
+Flags: ``--shape``/``--fault-counts``/``--trials``/``--pairs``/``--seed``
+size the sweep; ``--workers`` the parallel process count;
+``--min-speedup`` the gate (checked only when enough CPUs exist);
+``--check-shards`` the shard counts whose merged tables must match.
+"""
+
+import argparse
+import os
+import time
+
+from repro.parallel.sharding import SweepSpec, run_sweep
+
+
+def run_comparison(
+    shape=(12, 12, 12),
+    fault_counts=(20, 60, 120),
+    trials=8,
+    pairs=200,
+    workers=4,
+    seed=2005,
+    check_shards=(1, 2, 4),
+) -> dict:
+    """Time serial vs sharded sweeps; verify shard-count invariance."""
+    spec = SweepSpec(
+        experiment="success_rate",
+        shape=tuple(shape),
+        fault_counts=tuple(fault_counts),
+        trials=trials,
+        seed=seed,
+        params={"pairs": pairs},
+    )
+    t0 = time.perf_counter()
+    serial = run_sweep(spec, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = run_sweep(spec, workers=workers)
+    t_sharded = time.perf_counter() - t0
+
+    # shards=1 IS the serial baseline — no point recomputing it.
+    identical = all(
+        run_sweep(spec, workers=1, shards=n).to_csv() == serial.to_csv()
+        for n in check_shards
+        if n != 1
+    ) and sharded.to_csv() == serial.to_csv()
+    return {
+        "table": serial,
+        "patterns": len(fault_counts) * trials,
+        "workers": workers,
+        "t_serial_s": t_serial,
+        "t_sharded_s": t_sharded,
+        "speedup": t_serial / t_sharded if t_sharded else float("inf"),
+        "identical": identical,
+        "check_shards": tuple(check_shards),
+    }
+
+
+def test_sweep_sharding_smoke(benchmark):
+    """Shard invariance + a tracked timing of the 2-shard in-process path."""
+    from benchmarks.conftest import emit
+
+    spec = SweepSpec(
+        experiment="success_rate",
+        shape=(8, 8, 8),
+        fault_counts=(10, 30),
+        trials=4,
+        seed=2005,
+        params={"pairs": 60},
+    )
+    serial = run_sweep(spec, workers=1)
+    emit(serial)
+    for n in (2, 4):
+        assert run_sweep(spec, workers=1, shards=n).to_csv() == serial.to_csv()
+    benchmark(run_sweep, spec, workers=1, shards=2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shape", type=int, nargs="+", default=[12, 12, 12])
+    parser.add_argument(
+        "--fault-counts", type=int, nargs="+", default=[20, 60, 120]
+    )
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--pairs", type=int, default=200)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument(
+        "--check-shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="shard counts whose merged tables must be byte-identical",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail when the sharded speedup drops below this factor "
+        "(only enforced when at least 2 CPUs are available)",
+    )
+    args = parser.parse_args()
+    stats = run_comparison(
+        shape=tuple(args.shape),
+        fault_counts=tuple(args.fault_counts),
+        trials=args.trials,
+        pairs=args.pairs,
+        workers=args.workers,
+        seed=args.seed,
+        check_shards=tuple(args.check_shards),
+    )
+    print(stats["table"].render())
+    print(
+        f"\nsharded sweep  mesh={tuple(args.shape)}  "
+        f"patterns={stats['patterns']}  pairs/pattern={args.pairs}"
+    )
+    print(f"  serial loop   : {stats['t_serial_s']:8.3f} s  (workers=1)")
+    print(
+        f"  sharded       : {stats['t_sharded_s']:8.3f} s  "
+        f"(workers={stats['workers']})"
+    )
+    print(f"  speedup       : {stats['speedup']:8.2f}x")
+    assert stats["identical"], (
+        f"merged tables differ across shard counts {stats['check_shards']}"
+    )
+    print(f"  merged tables byte-identical for shards {stats['check_shards']}")
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(
+            f"  speedup gate  : SKIPPED ({cpus} CPU available; "
+            f"parallel speedup is not physical here)"
+        )
+        return
+    assert stats["speedup"] >= args.min_speedup, (
+        f"speedup {stats['speedup']:.2f}x below target {args.min_speedup}x"
+    )
+    print(f"  speedup target {args.min_speedup}x met")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,9 +6,6 @@ reproduces the paper's evaluation output), and feeds pytest-benchmark a
 representative kernel so timings are tracked too.
 """
 
-import pytest
-
-
 def emit(table_or_text) -> None:
     """Print an experiment artifact under pytest's captured output."""
     text = table_or_text if isinstance(table_or_text, str) else table_or_text.render()

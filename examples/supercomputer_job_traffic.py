@@ -8,11 +8,8 @@ node failures, then pushes all-to-all style job traffic through three
 routers: MCC-guided adaptive, blind adaptive, and dimension-order.
 """
 
-import numpy as np
-
 from repro import RoutingService, ecube_succeeds, greedy_route, label_grid
 from repro.experiments.workloads import clustered_fault_mask, sample_safe_pair
-from repro.mesh.coords import manhattan
 from repro.util.rng import make_rng
 
 

@@ -23,6 +23,8 @@ Layers:
 * ``repro.baselines`` — rectangular faulty blocks, e-cube, greedy;
 * ``repro.simkit`` / ``repro.distributed`` — the message-passing
   realization of the whole pipeline on a discrete-event network;
+* ``repro.parallel`` — multi-pattern sharding of experiment sweeps
+  across processes (``SweepSpec`` / ``run_sweep``);
 * ``repro.experiments`` — the evaluation (tables T1–T5, figures).
 """
 
@@ -62,6 +64,7 @@ from repro.routing.policies import (
 from repro.baselines import ecube_path, ecube_succeeds, greedy_route, rfb_blocks, rfb_unsafe
 from repro.simkit import MeshNetwork, Simulator
 from repro.distributed import DistributedMCCPipeline
+from repro.parallel import SweepSpec, run_sweep
 
 __version__ = "1.0.0"
 
@@ -112,5 +115,7 @@ __all__ = [
     "MeshNetwork",
     "Simulator",
     "DistributedMCCPipeline",
+    "SweepSpec",
+    "run_sweep",
     "__version__",
 ]

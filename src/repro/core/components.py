@@ -14,7 +14,7 @@ from typing import Sequence
 import numpy as np
 from scipy import ndimage
 
-from repro.core.labelling import FAULTY, LabelledGrid
+from repro.core.labelling import LabelledGrid
 from repro.mesh.coords import Coord
 from repro.mesh.regions import Box
 
@@ -57,7 +57,7 @@ class MCC:
         2-D MCC (tested in test_geometry2d), so this corner is unique.
         May fall outside the mesh when the MCC touches the low faces.
         """
-        return tuple(l - 1 for l in self.box.lo)
+        return tuple(lo - 1 for lo in self.box.lo)
 
     def opposite_corner(self) -> Coord:
         """Diagonally NE of (xmax, ymax) (may fall outside the mesh)."""

@@ -67,7 +67,10 @@ def merged_forbidden(
     """
     labels = mccs.labels
     ndim = labels.ndim
-    shadow_of = lambda idx: negative_shadow(mccs.mask_of(idx), dim)
+
+    def shadow_of(idx):
+        return negative_shadow(mccs.mask_of(idx), dim)
+
     merged = [mcc_index]
     z = shadow_of(mcc_index)
     entry_axes = [a for a in range(ndim) if a != dim]

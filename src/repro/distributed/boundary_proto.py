@@ -219,7 +219,6 @@ class BoundaryMixin(NodeProcess):
 
     def _merge_shape(self, payload: dict[str, Any], shape) -> None:
         """Q := Q ∪ Q(obstructor): per-column max of shadow tops."""
-        plane = tuple(payload["plane"])
         desc_axis = payload["desc_axis"]
         col_axis = payload["guard_axis"]
         tops = dict(tuple(t) for t in payload["tops"])

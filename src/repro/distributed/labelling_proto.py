@@ -38,7 +38,6 @@ class LabellingNode(NodeProcess):
     """One node of the distributed labelling protocol."""
 
     def on_start(self) -> None:
-        ndim = self.network.mesh.ndim
         self.store["label"] = SAFE
         # Node-local knowledge: neighbor labels, seeded by local fault
         # detection.  Missing (off-mesh) neighbors stay absent.

@@ -7,21 +7,125 @@ with the oracle, and per-query message cost (detection + routing).
 The oracle ground truth comes from one batched
 :meth:`RoutingService.feasible_batch` call per fault pattern (one
 reverse flood per distinct destination) instead of a fresh flood per
-query.
+query.  Each fault pattern — its DES pipeline build plus query replay —
+is one sharded :class:`repro.parallel.sharding.PatternTask`;
+``run_des_routing(..., workers=N)`` fans the patterns out across
+processes with seed-stable results for any worker/shard count.
+
+Command line (flags shared with the other sweeps)::
+
+    PYTHONPATH=src python -m repro.parallel \
+        --experiment des_routing --shape 7 7 7 \
+        --fault-counts 2 6 12 --trials 3 --queries 30 --workers 4
+
+``--queries`` sets the routed queries per pattern; ``--workers`` the
+process count (1 = in-process); ``--shards`` overrides the partition
+count for shard-invariance checks.
 """
 
 from __future__ import annotations
 
+from typing import Any, Mapping, Sequence
+
 import numpy as np
 
-from repro.core.labelling import SAFE, label_grid
+from repro.core.labelling import label_grid
 from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask
 from repro.mesh.coords import manhattan
 from repro.mesh.topology import Mesh
+from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
 from repro.routing.batch import RoutingService
 from repro.util.records import ResultTable
-from repro.util.rng import SeedLike, make_rng, spawn_rngs
+from repro.util.rng import SeedLike
+
+_COUNTERS = (
+    "delivered",
+    "infeasible",
+    "stuck",
+    "minimal",
+    "oracle_ok",
+    "agree",
+    "total",
+)
+
+
+def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
+    """Build one pattern's DES pipeline and replay its query workload."""
+    rng = task.rng()
+    record: dict[str, float] = {name: 0 for name in _COUNTERS}
+    record["msg_cost"] = 0.0
+    mask = random_fault_mask(spec.shape, task.count, rng=rng)
+    safe = label_grid(mask).safe_mask
+    if not safe.any():
+        return record
+    pipe = DistributedMCCPipeline(Mesh(spec.shape), mask).build()
+    cells = np.argwhere(safe)
+    batch = []
+    statuses = []
+    for _ in range(int(spec.param("queries", 30))):
+        i, j = rng.integers(0, cells.shape[0], size=2)
+        s = tuple(int(c) for c in np.minimum(cells[i], cells[j]))
+        d = tuple(int(c) for c in np.maximum(cells[i], cells[j]))
+        if not (safe[s] and safe[d]) or s == d:
+            continue
+        record["total"] += 1
+        before = pipe.net.stats.total_messages
+        result = pipe.route(s, d)
+        record["msg_cost"] += pipe.net.stats.total_messages - before
+        batch.append((s, d))
+        status = result["status"]
+        statuses.append(status)
+        if status == "delivered":
+            record["delivered"] += 1
+            if len(result["path"]) - 1 == manhattan(s, d):
+                record["minimal"] += 1
+        elif status == "infeasible":
+            record["infeasible"] += 1
+        else:
+            record["stuck"] += 1
+    if batch:
+        wants = RoutingService(mask, mode="oracle").feasible_batch(batch)
+        record["oracle_ok"] += int(wants.sum())
+        record["agree"] += sum(
+            (status == "delivered") == bool(want)
+            for status, want in zip(statuses, wants)
+        )
+    return record
+
+
+def reduce_records(
+    spec: SweepSpec, records: Sequence[Mapping[str, Any]]
+) -> ResultTable:
+    """Merge per-pattern DES counters into the T4 table."""
+    dims = f"{len(spec.shape)}-D {'x'.join(map(str, spec.shape))}"
+    table = ResultTable(
+        title=(
+            f"T4 DES routing — {dims} mesh, {spec.trials} patterns x "
+            f"{spec.param('queries', 30)} queries"
+        )
+    )
+    for count_index, count in enumerate(spec.fault_counts):
+        rows = [r for r in records if r["_count_index"] == count_index]
+        sums = {
+            name: sum(r[name] for r in rows)
+            for name in (*_COUNTERS, "msg_cost")
+        }
+        total = sums["total"]
+        delivered = sums["delivered"]
+        table.add(
+            faults=count,
+            queries=int(total),
+            delivered=delivered / total if total else 0.0,
+            oracle=sums["oracle_ok"] / total if total else 0.0,
+            agreement=sums["agree"] / total if total else 0.0,
+            minimal_of_delivered=(
+                sums["minimal"] / delivered if delivered else 1.0
+            ),
+            stuck=int(sums["stuck"]),
+            msgs_per_query=sums["msg_cost"] / total if total else 0.0,
+        )
+    return table
 
 
 def run_des_routing(
@@ -30,65 +134,21 @@ def run_des_routing(
     queries: int = 30,
     trials: int = 3,
     seed: SeedLike = 2005,
+    workers: int = 1,
+    shards: int | None = None,
 ) -> ResultTable:
-    """Sweep fault counts; distributed routing quality metrics."""
-    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
-    table = ResultTable(
-        title=f"T4 DES routing — {dims} mesh, {trials} patterns x {queries} queries"
+    """Sweep fault counts; distributed routing quality metrics.
+
+    ``workers`` shards the fault patterns (pipeline build + query
+    replay) across processes (1 = in-process serial fallback); results
+    are identical for any value.
+    """
+    spec = SweepSpec(
+        experiment="des_routing",
+        shape=tuple(shape),
+        fault_counts=tuple(fault_counts),
+        trials=trials,
+        seed=seed,
+        params={"queries": queries},
     )
-    mesh = Mesh(shape)
-    rngs = spawn_rngs(seed, len(fault_counts))
-    for count, rng in zip(fault_counts, rngs):
-        delivered = infeasible = stuck = oracle_ok = agree = 0
-        minimal = 0
-        msg_cost = 0.0
-        total = 0
-        for _ in range(trials):
-            mask = random_fault_mask(shape, count, rng=rng)
-            labelled = label_grid(mask)
-            safe = labelled.safe_mask
-            if not safe.any():
-                continue
-            pipe = DistributedMCCPipeline(mesh, mask).build()
-            cells = np.argwhere(safe)
-            batch = []
-            statuses = []
-            for _ in range(queries):
-                i, j = rng.integers(0, cells.shape[0], size=2)
-                s = tuple(int(c) for c in np.minimum(cells[i], cells[j]))
-                d = tuple(int(c) for c in np.maximum(cells[i], cells[j]))
-                if not (safe[s] and safe[d]) or s == d:
-                    continue
-                total += 1
-                before = pipe.net.stats.total_messages
-                result = pipe.route(s, d)
-                msg_cost += pipe.net.stats.total_messages - before
-                batch.append((s, d))
-                status = result["status"]
-                statuses.append(status)
-                if status == "delivered":
-                    delivered += 1
-                    if len(result["path"]) - 1 == manhattan(s, d):
-                        minimal += 1
-                elif status == "infeasible":
-                    infeasible += 1
-                else:
-                    stuck += 1
-            if batch:
-                wants = RoutingService(mask, mode="oracle").feasible_batch(batch)
-                oracle_ok += int(wants.sum())
-                agree += sum(
-                    (status == "delivered") == bool(want)
-                    for status, want in zip(statuses, wants)
-                )
-        table.add(
-            faults=count,
-            queries=total,
-            delivered=delivered / total if total else 0.0,
-            oracle=oracle_ok / total if total else 0.0,
-            agreement=agree / total if total else 0.0,
-            minimal_of_delivered=minimal / delivered if delivered else 1.0,
-            stuck=stuck,
-            msgs_per_query=msg_cost / total if total else 0.0,
-        )
-    return table
+    return run_sweep(spec, workers=workers, shards=shards)

@@ -15,8 +15,6 @@ Quantifies the paper's exactness claims against the oracle:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.conditions import ConditionEvaluator
 from repro.core.detection import detection_feasible
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair

@@ -8,8 +8,6 @@ random fault patterns and report messages per phase and per kind.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask
 from repro.mesh.topology import Mesh

@@ -12,18 +12,37 @@ trials:
   can't-reach) in the canonical direction class;
 * ``rfb_nonfaulty`` — non-faulty nodes inside merged faulty blocks;
 * their ratio (RFB / MCC, the paper's improvement factor).
+
+Each trial's fault pattern is one sharded
+:class:`repro.parallel.sharding.PatternTask`; ``run_region_overhead(...,
+workers=N)`` fans the patterns out across processes with seed-stable
+results for any worker/shard count.
+
+Command line (flags shared with the other sweeps)::
+
+    PYTHONPATH=src python -m repro.parallel \
+        --experiment region_overhead --shape 12 12 12 \
+        --fault-counts 20 60 120 --trials 40 --workers 4
+
+``--workers`` sets the process count (1 = in-process); ``--shards``
+overrides the partition count for shard-invariance checks.  The
+clustered-fault variant is reachable through the Python API
+(``run_region_overhead(..., clustered=True)``).
 """
 
 from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.baselines.rfb import rfb_unsafe
 from repro.core.labelling import label_grid
 from repro.experiments.workloads import clustered_fault_mask, random_fault_mask
+from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
 from repro.routing.batch import RoutingService
 from repro.util.records import ResultTable
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import SeedLike
 
 
 def region_overhead_once(
@@ -43,42 +62,66 @@ def region_overhead_once(
     return mcc_nonfaulty, rfb_nonfaulty
 
 
+def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
+    """Region overhead of one sampled fault pattern."""
+    rng = task.rng()
+    if spec.param("clustered", False):
+        mask = clustered_fault_mask(spec.shape, task.count, rng=rng)
+    else:
+        mask = random_fault_mask(spec.shape, task.count, rng=rng)
+    mcc, rfb = region_overhead_once(mask)
+    return {"mcc": mcc, "rfb": rfb}
+
+
+def reduce_records(
+    spec: SweepSpec, records: Sequence[Mapping[str, Any]]
+) -> ResultTable:
+    """Merge per-pattern overheads into the region-overhead table."""
+    dims = f"{len(spec.shape)}-D {'x'.join(map(str, spec.shape))}"
+    kind = "clustered" if spec.param("clustered", False) else "uniform"
+    table = ResultTable(
+        title=(
+            f"T1 region overhead — {dims} mesh, {kind} faults, "
+            f"{spec.trials} trials"
+        )
+    )
+    mesh_size = float(np.prod(spec.shape))
+    for count_index, count in enumerate(spec.fault_counts):
+        rows = [r for r in records if r["_count_index"] == count_index]
+        mcc_avg = sum(r["mcc"] for r in rows) / spec.trials
+        rfb_avg = sum(r["rfb"] for r in rows) / spec.trials
+        table.add(
+            faults=count,
+            fault_rate=count / mesh_size,
+            mcc_nonfaulty=mcc_avg,
+            rfb_nonfaulty=rfb_avg,
+            mcc_max=max((r["mcc"] for r in rows), default=0),
+            rfb_max=max((r["rfb"] for r in rows), default=0),
+            rfb_over_mcc=(rfb_avg / mcc_avg) if mcc_avg else float("inf"),
+        )
+    return table
+
+
 def run_region_overhead(
     shape: tuple[int, ...],
     fault_counts: list[int],
     trials: int = 40,
     seed: SeedLike = 2005,
     clustered: bool = False,
+    workers: int = 1,
+    shards: int | None = None,
 ) -> ResultTable:
-    """Sweep fault counts; average region overhead per model."""
-    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
-    kind = "clustered" if clustered else "uniform"
-    table = ResultTable(
-        title=f"T1 region overhead — {dims} mesh, {kind} faults, {trials} trials"
+    """Sweep fault counts; average region overhead per model.
+
+    ``workers`` shards the fault patterns across processes (1 =
+    in-process serial fallback); results are identical for any value.
+    """
+    spec = SweepSpec(
+        experiment="region_overhead",
+        shape=tuple(shape),
+        fault_counts=tuple(fault_counts),
+        trials=trials,
+        seed=seed,
+        params={"clustered": clustered},
     )
-    rngs = spawn_rngs(seed, len(fault_counts))
-    for count, rng in zip(fault_counts, rngs):
-        mcc_total = rfb_total = 0
-        mcc_max = rfb_max = 0
-        for _ in range(trials):
-            if clustered:
-                mask = clustered_fault_mask(shape, count, rng=rng)
-            else:
-                mask = random_fault_mask(shape, count, rng=rng)
-            mcc, rfb = region_overhead_once(mask)
-            mcc_total += mcc
-            rfb_total += rfb
-            mcc_max = max(mcc_max, mcc)
-            rfb_max = max(rfb_max, rfb)
-        mcc_avg = mcc_total / trials
-        rfb_avg = rfb_total / trials
-        table.add(
-            faults=count,
-            fault_rate=count / float(np.prod(shape)),
-            mcc_nonfaulty=mcc_avg,
-            rfb_nonfaulty=rfb_avg,
-            mcc_max=mcc_max,
-            rfb_max=rfb_max,
-            rfb_over_mcc=(rfb_avg / mcc_avg) if mcc_avg else float("inf"),
-        )
-    return table
+    return run_sweep(spec, workers=workers, shards=shards)

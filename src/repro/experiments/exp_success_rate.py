@@ -16,21 +16,89 @@ Pairs whose endpoints fall inside a model's fault region count as
 failures for that model (the model refuses the routing), which is
 exactly how the fault-block literature scores success rates.
 
-The verdicts come from :class:`repro.routing.batch.RoutingService`:
-all pairs of a trial are checked with one ``feasible_batch`` call per
-model, which shares each direction class's ``LabelledGrid`` and one
-reverse flood per distinct destination across the whole trial.
+Each fault pattern is one :class:`repro.parallel.sharding.PatternTask`:
+its verdicts come from one :meth:`RoutingService.feasible_batch` call
+per model, which shares each direction class's ``LabelledGrid`` and one
+reverse flood per distinct destination across the whole pattern.  The
+pattern axis itself is sharded across processes by
+:func:`repro.parallel.sharding.run_sweep` — ``run_success_rate(...,
+workers=N)`` — with seed-stable results for any worker/shard count.
+
+Command line (flags shared with the other sweeps)::
+
+    PYTHONPATH=src python -m repro.parallel \
+        --experiment success_rate --shape 12 12 12 \
+        --fault-counts 20 60 120 --trials 8 --pairs 200 --workers 4
+
+``--pairs`` sets the pair workload sampled per pattern; ``--workers``
+the process count (1 = in-process); ``--shards`` overrides the
+partition count for shard-invariance checks.
 """
 
 from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.baselines.ecube import ecube_succeeds
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair
+from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
 from repro.routing.batch import RoutingService
 from repro.util.records import ResultTable
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import SeedLike
+
+
+def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
+    """Score one fault pattern: per-model success counts over its pairs."""
+    rng = task.rng()
+    mask = random_fault_mask(spec.shape, task.count, rng=rng)
+    batch = []
+    for _ in range(int(spec.param("pairs", 200))):
+        pair = sample_safe_pair(~mask, rng=rng, min_distance=2)
+        if pair is not None:
+            batch.append(pair)
+    record = {"pairs": len(batch), "oracle": 0, "mcc": 0, "rfb": 0, "ecube": 0}
+    if not batch:
+        return record
+    for model in ("oracle", "mcc", "rfb"):
+        verdicts = RoutingService(mask, mode=model).feasible_batch(batch)
+        record[model] = int(verdicts.sum())
+    record["ecube"] = int(
+        sum(ecube_succeeds(mask, source, dest) for source, dest in batch)
+    )
+    return record
+
+
+def reduce_records(
+    spec: SweepSpec, records: Sequence[Mapping[str, Any]]
+) -> ResultTable:
+    """Merge per-pattern counts into the success-rate table."""
+    dims = f"{len(spec.shape)}-D {'x'.join(map(str, spec.shape))}"
+    table = ResultTable(
+        title=(
+            f"T2 minimal-routing success rate — {dims} mesh, "
+            f"{spec.trials} fault patterns x {spec.param('pairs', 200)} pairs"
+        )
+    )
+    mesh_size = float(np.prod(spec.shape))
+    for count_index, count in enumerate(spec.fault_counts):
+        rows = [r for r in records if r["_count_index"] == count_index]
+        total = sum(r["pairs"] for r in rows)
+        wins = {
+            model: sum(r[model] for r in rows)
+            for model in ("oracle", "mcc", "rfb", "ecube")
+        }
+        table.add(
+            faults=count,
+            fault_rate=count / mesh_size,
+            pairs=total,
+            oracle=wins["oracle"] / total if total else 0.0,
+            mcc=wins["mcc"] / total if total else 0.0,
+            rfb=wins["rfb"] / total if total else 0.0,
+            ecube=wins["ecube"] / total if total else 0.0,
+        )
+    return table
 
 
 def run_success_rate(
@@ -39,42 +107,20 @@ def run_success_rate(
     pairs: int = 200,
     trials: int = 10,
     seed: SeedLike = 2005,
+    workers: int = 1,
+    shards: int | None = None,
 ) -> ResultTable:
-    """Sweep fault counts; success rate per model over random pairs."""
-    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
-    table = ResultTable(
-        title=(
-            f"T2 minimal-routing success rate — {dims} mesh, "
-            f"{trials} fault patterns x {pairs} pairs"
-        )
+    """Sweep fault counts; success rate per model over random pairs.
+
+    ``workers`` shards the fault patterns across processes (1 =
+    in-process serial fallback); results are identical for any value.
+    """
+    spec = SweepSpec(
+        experiment="success_rate",
+        shape=tuple(shape),
+        fault_counts=tuple(fault_counts),
+        trials=trials,
+        seed=seed,
+        params={"pairs": pairs},
     )
-    rngs = spawn_rngs(seed, len(fault_counts))
-    for count, rng in zip(fault_counts, rngs):
-        wins = {"oracle": 0, "mcc": 0, "rfb": 0, "ecube": 0}
-        total = 0
-        for _ in range(trials):
-            mask = random_fault_mask(shape, count, rng=rng)
-            batch = []
-            for _ in range(pairs):
-                pair = sample_safe_pair(~mask, rng=rng, min_distance=2)
-                if pair is not None:
-                    batch.append(pair)
-            total += len(batch)
-            if not batch:
-                continue
-            for model in ("oracle", "mcc", "rfb"):
-                verdicts = RoutingService(mask, mode=model).feasible_batch(batch)
-                wins[model] += int(verdicts.sum())
-            wins["ecube"] += sum(
-                ecube_succeeds(mask, source, dest) for source, dest in batch
-            )
-        table.add(
-            faults=count,
-            fault_rate=count / float(np.prod(shape)),
-            pairs=total,
-            oracle=wins["oracle"] / total if total else 0.0,
-            mcc=wins["mcc"] / total if total else 0.0,
-            rfb=wins["rfb"] / total if total else 0.0,
-            ecube=wins["ecube"] / total if total else 0.0,
-        )
-    return table
+    return run_sweep(spec, workers=workers, shards=shards)

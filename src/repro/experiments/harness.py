@@ -42,32 +42,39 @@ PROFILES = {
 }
 
 
-def run_all(profile: str = "quick", seed: int = 2005) -> dict[str, ResultTable]:
-    """Regenerate T1–T5 for 2-D and 3-D; returns tables keyed by id."""
+def run_all(
+    profile: str = "quick", seed: int = 2005, workers: int = 1
+) -> dict[str, ResultTable]:
+    """Regenerate T1–T5 for 2-D and 3-D; returns tables keyed by id.
+
+    ``workers`` shards the multi-pattern sweeps (T1/T2/T4) across
+    processes via :mod:`repro.parallel.sharding`; tables are identical
+    for any value.
+    """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; pick from {list(PROFILES)}")
     p = PROFILES[profile]
     tables: dict[str, ResultTable] = {}
     tables["T1a"] = run_region_overhead(
-        p["shape2d"], p["faults2d"], trials=p["trials"], seed=seed
+        p["shape2d"], p["faults2d"], trials=p["trials"], seed=seed, workers=workers
     )
     tables["T1b"] = run_region_overhead(
-        p["shape3d"], p["faults3d"], trials=p["trials"], seed=seed
+        p["shape3d"], p["faults3d"], trials=p["trials"], seed=seed, workers=workers
     )
     tables["T2a"] = run_success_rate(
         p["shape2d"], p["faults2d"], pairs=p["pairs"], trials=max(2, p["trials"] // 4),
-        seed=seed,
+        seed=seed, workers=workers,
     )
     tables["T2b"] = run_success_rate(
         p["shape3d"], p["faults3d"], pairs=p["pairs"], trials=max(2, p["trials"] // 4),
-        seed=seed,
+        seed=seed, workers=workers,
     )
     tables["T3"] = run_protocol_overhead(
         p["des_shape"], p["des_faults"], trials=p["des_trials"], seed=seed
     )
     tables["T4"] = run_des_routing(
         p["des_shape"], p["des_faults"], queries=p["des_queries"],
-        trials=p["des_trials"], seed=seed,
+        trials=p["des_trials"], seed=seed, workers=workers,
     )
     tables["T5"] = run_fidelity(
         p["shape3d"] if profile == "quick" else (10, 10, 10),

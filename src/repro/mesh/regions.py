@@ -27,8 +27,8 @@ class Box:
     def __post_init__(self) -> None:
         if len(self.lo) != len(self.hi):
             raise ValueError("lo and hi must have the same dimension")
-        for l, h in zip(self.lo, self.hi):
-            if l > h:
+        for lo, hi in zip(self.lo, self.hi):
+            if lo > hi:
                 raise ValueError(f"empty box: lo {self.lo} > hi {self.hi}")
 
     # -- constructors ------------------------------------------------------
@@ -57,7 +57,7 @@ class Box:
     @property
     def extents(self) -> tuple[int, ...]:
         """Number of lattice points per axis."""
-        return tuple(h - l + 1 for l, h in zip(self.lo, self.hi))
+        return tuple(hi - lo + 1 for lo, hi in zip(self.lo, self.hi))
 
     @property
     def volume(self) -> int:
@@ -66,7 +66,7 @@ class Box:
 
     def contains(self, coord: Sequence[int]) -> bool:
         return len(coord) == self.ndim and all(
-            l <= c <= h for c, l, h in zip(coord, self.lo, self.hi)
+            lo <= c <= hi for c, lo, hi in zip(coord, self.lo, self.hi)
         )
 
     def contains_box(self, other: "Box") -> bool:
@@ -84,7 +84,7 @@ class Box:
     def intersection(self, other: "Box") -> "Box | None":
         lo = tuple(max(sl, ol) for sl, ol in zip(self.lo, other.lo))
         hi = tuple(min(sh, oh) for sh, oh in zip(self.hi, other.hi))
-        if any(l > h for l, h in zip(lo, hi)):
+        if any(a > b for a, b in zip(lo, hi)):
             return None
         return Box(lo, hi)
 
@@ -97,7 +97,7 @@ class Box:
     def inflate(self, margin: int) -> "Box":
         """Grow by ``margin`` on every side (adjacency tests)."""
         return Box(
-            tuple(l - margin for l in self.lo),
+            tuple(lo - margin for lo in self.lo),
             tuple(h + margin for h in self.hi),
         )
 
@@ -111,12 +111,12 @@ class Box:
     def cells(self) -> Iterator[Coord]:
         """Iterate all lattice points (row-major)."""
         return itertools.product(
-            *(range(l, h + 1) for l, h in zip(self.lo, self.hi))
+            *(range(lo, hi + 1) for lo, hi in zip(self.lo, self.hi))
         )
 
     def slices(self) -> tuple[slice, ...]:
         """Numpy basic-indexing slices selecting the box in a grid."""
-        return tuple(slice(l, h + 1) for l, h in zip(self.lo, self.hi))
+        return tuple(slice(lo, hi + 1) for lo, hi in zip(self.lo, self.hi))
 
     def mask(self, shape: Sequence[int]) -> np.ndarray:
         """Boolean grid of ``shape`` that is True inside (clipped) box."""
@@ -127,7 +127,7 @@ class Box:
         return out
 
     def __repr__(self) -> str:
-        spans = ", ".join(f"{l}:{h}" for l, h in zip(self.lo, self.hi))
+        spans = ", ".join(f"{lo}:{hi}" for lo, hi in zip(self.lo, self.hi))
         return f"Box[{spans}]"
 
 

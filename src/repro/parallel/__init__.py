@@ -1,0 +1,24 @@
+"""Multi-pattern sharding: sweep many fault patterns across processes.
+
+The experiments average over many independently sampled fault patterns;
+:mod:`repro.parallel.sharding` partitions that pattern axis across
+``multiprocessing`` workers (one :class:`repro.routing.batch.RoutingService`
+per pattern inside each worker) and merges the per-pattern records into
+the experiment's summary table, seed-stably for any shard count.
+"""
+
+from repro.parallel.sharding import (
+    PatternTask,
+    SweepSpec,
+    partition_tasks,
+    plan_tasks,
+    run_sweep,
+)
+
+__all__ = [
+    "PatternTask",
+    "SweepSpec",
+    "partition_tasks",
+    "plan_tasks",
+    "run_sweep",
+]

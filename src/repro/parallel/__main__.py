@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.parallel`` runs the sweep CLI."""
+
+from repro.parallel.sharding import main
+
+main()

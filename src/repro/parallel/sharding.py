@@ -1,0 +1,257 @@
+"""Sharded sweep runner: one fault pattern per task, shards per process.
+
+The paper's headline curves (T1 region overhead, T2 success rate, T4 DES
+routing) average over many independently sampled fault patterns.  Each
+pattern is embarrassingly parallel — it owns its own
+:class:`repro.routing.batch.RoutingService` and scores its pair workload
+with one batched call — so the sweep scales on the *pattern* axis:
+
+1. :func:`plan_tasks` derives one :class:`PatternTask` per (fault count,
+   trial) cell, each carrying its own :class:`numpy.random.SeedSequence`
+   child.  A task's stream depends only on the sweep seed and its
+   position, never on which shard or process evaluates it.
+2. :func:`partition_tasks` deals tasks round-robin into shards.
+3. Workers evaluate their shards (``multiprocessing`` pool, or in-process
+   when ``workers=1`` — the debuggable fallback) and return compact
+   per-pattern records: plain dicts of counters, no arrays, no services.
+4. The reducer merges records **in global task order**, so the merged
+   table is byte-identical for any shard or worker count (float
+   summation order is fixed; property-tested in test_sweep_sharding).
+
+Experiments register themselves in :data:`EXPERIMENTS` as dotted
+``module:function`` paths (resolved lazily, so worker processes under
+the ``spawn`` start method re-import them cleanly and there is no
+import cycle with :mod:`repro.experiments`).
+
+Command-line interface (also see ``benchmarks/bench_sweep_sharding.py``)::
+
+    PYTHONPATH=src python -m repro.parallel \
+        --experiment success_rate --shape 12 12 12 \
+        --fault-counts 20 60 120 --trials 8 --pairs 200 \
+        --workers 4 --seed 2005
+
+Flags: ``--experiment`` picks the registered sweep (``success_rate``,
+``region_overhead``, ``des_routing``); ``--shape``/``--fault-counts``/
+``--trials``/``--seed`` define the pattern grid; ``--pairs`` (T1/T2) or
+``--queries`` (T4) size the per-pattern workload; ``--workers`` sets the
+process count (1 = in-process) and ``--shards`` overrides the partition
+count (defaults to ``workers``) for shard-invariance checks; ``--csv``
+emits CSV instead of the text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import multiprocessing as mp
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.util.records import ResultTable
+from repro.util.rng import SeedLike, spawn_seed_sequences
+
+#: Registered experiments: name -> (evaluator path, reducer path).
+#: An evaluator maps ``(spec, task) -> dict`` of plain numbers for one
+#: fault pattern; a reducer maps ``(spec, records) -> ResultTable`` with
+#: the records already sorted in global task order.
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "success_rate": (
+        "repro.experiments.exp_success_rate:evaluate_pattern",
+        "repro.experiments.exp_success_rate:reduce_records",
+    ),
+    "region_overhead": (
+        "repro.experiments.exp_region_overhead:evaluate_pattern",
+        "repro.experiments.exp_region_overhead:reduce_records",
+    ),
+    "des_routing": (
+        "repro.experiments.exp_des_routing:evaluate_pattern",
+        "repro.experiments.exp_des_routing:reduce_records",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A deterministic multi-pattern sweep description (picklable).
+
+    ``params`` carries experiment-specific knobs (e.g. ``pairs`` for the
+    success-rate sweep, ``queries`` for the DES sweep); evaluators read
+    them with :meth:`param`.
+    """
+
+    experiment: str
+    shape: tuple[int, ...]
+    fault_counts: tuple[int, ...]
+    trials: int
+    seed: SeedLike = 2005
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.experiment not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {self.experiment!r}; "
+                f"pick from {sorted(EXPERIMENTS)}"
+            )
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        object.__setattr__(self, "shape", tuple(int(k) for k in self.shape))
+        object.__setattr__(
+            self, "fault_counts", tuple(int(c) for c in self.fault_counts)
+        )
+
+    def param(self, name: str, default: Any) -> Any:
+        return self.params.get(name, default)
+
+
+@dataclass(frozen=True)
+class PatternTask:
+    """One fault pattern to evaluate: grid position + private seed."""
+
+    index: int  # global position in the sweep (reduce order)
+    count_index: int  # position of ``count`` in spec.fault_counts
+    count: int  # number of faults in this pattern
+    trial: int  # trial number within the fault count
+    seed: np.random.SeedSequence
+
+    def rng(self) -> np.random.Generator:
+        """The pattern's private generator (mask + workload draws)."""
+        return np.random.default_rng(self.seed)
+
+
+def _resolve(path: str) -> Callable:
+    """Import ``"module:attribute"`` lazily (worker-process safe)."""
+    module_name, _, attr = path.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def plan_tasks(spec: SweepSpec) -> list[PatternTask]:
+    """All pattern tasks of the sweep, in global (reduce) order.
+
+    Seed derivation is positional: one child sequence per fault count,
+    then one grandchild per trial — the same tree for every shard
+    layout, so any partition of the tasks replays identical patterns.
+    """
+    count_seqs = spawn_seed_sequences(spec.seed, len(spec.fault_counts))
+    tasks: list[PatternTask] = []
+    for count_index, (count, seq) in enumerate(zip(spec.fault_counts, count_seqs)):
+        for trial, child in enumerate(seq.spawn(spec.trials)):
+            tasks.append(
+                PatternTask(
+                    index=len(tasks),
+                    count_index=count_index,
+                    count=count,
+                    trial=trial,
+                    seed=child,
+                )
+            )
+    return tasks
+
+
+def partition_tasks(
+    tasks: Sequence[PatternTask], shards: int
+) -> list[list[PatternTask]]:
+    """Deal tasks round-robin into ``shards`` lists (some may be empty).
+
+    Round-robin balances the expensive high-fault-count tail across
+    shards; correctness never depends on the layout because the reducer
+    re-sorts by global task index.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return [list(tasks[s::shards]) for s in range(shards)]
+
+
+def evaluate_shard(
+    spec: SweepSpec, tasks: Sequence[PatternTask]
+) -> list[dict[str, Any]]:
+    """Evaluate one shard's patterns; records tagged with task positions."""
+    evaluator = _resolve(EXPERIMENTS[spec.experiment][0])
+    records = []
+    for task in tasks:
+        record = dict(evaluator(spec, task))
+        record["_index"] = task.index
+        record["_count_index"] = task.count_index
+        record["_count"] = task.count
+        records.append(record)
+    return records
+
+
+def _evaluate_shard_star(args: tuple[SweepSpec, list[PatternTask]]):
+    return evaluate_shard(*args)
+
+
+def reduce_records(
+    spec: SweepSpec, records: Sequence[Mapping[str, Any]]
+) -> ResultTable:
+    """Merge per-pattern records into the experiment's summary table.
+
+    Records are sorted by global task index first, so the reduction —
+    including float accumulation — happens in one canonical order
+    regardless of how many shards (or processes) produced them.
+    """
+    reducer = _resolve(EXPERIMENTS[spec.experiment][1])
+    ordered = sorted(records, key=lambda r: r["_index"])
+    return reducer(spec, ordered)
+
+
+def run_sweep(
+    spec: SweepSpec, workers: int = 1, shards: int | None = None
+) -> ResultTable:
+    """Run the sweep: plan, partition, evaluate (maybe in parallel), reduce.
+
+    ``workers=1`` evaluates every shard in the calling process — same
+    code path as the parallel run minus the pool, for debugging.
+    ``shards`` defaults to ``max(workers, 1)``; passing a different
+    value checks shard invariance or over-partitions for balance.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    tasks = plan_tasks(spec)
+    shard_lists = partition_tasks(tasks, shards if shards is not None else workers)
+    work = [(spec, shard) for shard in shard_lists if shard]
+    if workers == 1 or len(work) <= 1:
+        shard_records = [evaluate_shard(s, ts) for s, ts in work]
+    else:
+        # Fork is cheap and safe on Linux; elsewhere take the platform
+        # default (macOS forks crash in Accelerate/objc after numpy
+        # import — tasks are picklable by design, so spawn just works).
+        ctx = mp.get_context("fork") if sys.platform == "linux" else mp.get_context()
+        with ctx.Pool(processes=min(workers, len(work))) as pool:
+            shard_records = pool.map(_evaluate_shard_star, work)
+    return reduce_records(spec, [r for shard in shard_records for r in shard])
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Run a sharded multi-pattern experiment sweep."
+    )
+    parser.add_argument("--experiment", choices=sorted(EXPERIMENTS), required=True)
+    parser.add_argument("--shape", type=int, nargs="+", default=[12, 12, 12])
+    parser.add_argument(
+        "--fault-counts", type=int, nargs="+", default=[20, 60, 120]
+    )
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--pairs", type=int, default=200)
+    parser.add_argument("--queries", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--csv", action="store_true", help="emit CSV")
+    args = parser.parse_args(argv)
+    spec = SweepSpec(
+        experiment=args.experiment,
+        shape=tuple(args.shape),
+        fault_counts=tuple(args.fault_counts),
+        trials=args.trials,
+        seed=args.seed,
+        params={"pairs": args.pairs, "queries": args.queries},
+    )
+    table = run_sweep(spec, workers=args.workers, shards=args.shards)
+    print(table.to_csv() if args.csv else table.render())
+
+
+if __name__ == "__main__":
+    main()

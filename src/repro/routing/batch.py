@@ -24,7 +24,14 @@ Results are element-wise identical to per-pair
 :meth:`AdaptiveRouter.route` for stateless policies (fixed/diagonal —
 property-tested).  A stateful policy such as ``RandomPolicy`` draws in
 grouped order rather than input order, so individual paths may differ
-while delivery verdicts still agree with the model.
+while delivery verdicts still agree with the model — unless the service
+is built with ``replay_policy=True``, which defers the forwarding walks
+and replays them in input order: every policy draw then happens exactly
+when a per-call loop would make it, so batched paths match per-call
+paths element-wise even for stateful policies (feasibility checks never
+consume draws, and infeasible or faulty-endpoint pairs are resolved
+before any walk).  The deferred walks may re-flood destinations evicted
+from the LRU reach cache, so leave replay off for stateless policies.
 """
 
 from __future__ import annotations
@@ -76,6 +83,7 @@ class RoutingService:
         policy: Policy | None = None,
         max_hops: int | None = None,
         reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
+        replay_policy: bool = False,
     ):
         self.router = AdaptiveRouter(
             fault_mask,
@@ -84,6 +92,9 @@ class RoutingService:
             max_hops=max_hops,
             reach_cache_size=reach_cache_size,
         )
+        #: Replay forwarding walks in input order so stateful policies
+        #: (``RandomPolicy``) draw exactly as a per-call loop would.
+        self.replay_policy = replay_policy
 
     @property
     def fault_mask(self) -> np.ndarray:
@@ -119,8 +130,14 @@ class RoutingService:
         """Route every (source, dest) pair; results in input order."""
         pairs = [_as_pair(p) for p in pairs]
         results: list[RouteResult | None] = [None] * len(pairs)
+        deferred: list | None = [] if self.replay_policy else None
         for orientation, model, members in self._grouped(pairs, results):
-            self._route_group(orientation, model, members, results)
+            self._route_group(orientation, model, members, results, deferred)
+        if deferred is not None:
+            # Input order = the per-call draw order for stateful policies.
+            deferred.sort(key=lambda job: job[0])
+            for idx, model, orientation, s, d in deferred:
+                results[idx] = self.router._forward(model, orientation, s, d)
         return results  # type: ignore[return-value]
 
     def feasible_batch(
@@ -227,8 +244,14 @@ class RoutingService:
         model: _ClassModel,
         members: list,
         results: list[RouteResult | None],
+        deferred: list | None = None,
     ) -> None:
-        """Route one direction-class group, destination-major."""
+        """Route one direction-class group, destination-major.
+
+        With ``deferred`` given, feasible pairs are queued as
+        ``(index, model, orientation, src, dst)`` forwarding jobs
+        instead of walked inline (policy-replay mode).
+        """
         router = self.router
         by_index = {m[0]: m for m in members}
         for chunk in self._primed_chunks(model, members):
@@ -249,7 +272,10 @@ class RoutingService:
                             reason=reason or "infeasible",
                         )
                         continue
-                    results[int(idx)] = router._forward(model, orientation, s, d)
+                    if deferred is not None:
+                        deferred.append((int(idx), model, orientation, s, d))
+                    else:
+                        results[int(idx)] = router._forward(model, orientation, s, d)
 
     def _primed_chunks(self, model: _ClassModel, members: list):
         """Destination groups in chunks, reach caches pre-warmed per chunk.
@@ -282,6 +308,7 @@ def route_batch(
     policy: Policy | None = None,
     max_hops: int | None = None,
     reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
+    replay_policy: bool = False,
 ) -> list[RouteResult]:
     """Route many pairs over one fault pattern with shared model state."""
     service = RoutingService(
@@ -290,5 +317,6 @@ def route_batch(
         policy=policy,
         max_hops=max_hops,
         reach_cache_size=reach_cache_size,
+        replay_policy=replay_policy,
     )
     return service.route_batch(pairs)

@@ -26,7 +26,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.mesh.coords import Coord
 from repro.mesh.regions import Box
 
 
@@ -181,8 +180,8 @@ def minimal_path_exists(
     box = Box(source, dest)
     sl = box.slices()
     local_open = open_mask[sl]
-    local_src = tuple(s - l for s, l in zip(source, box.lo))
-    local_dst = tuple(d - l for d, l in zip(dest, box.lo))
+    local_src = tuple(s - lo for s, lo in zip(source, box.lo))
+    local_dst = tuple(d - lo for d, lo in zip(dest, box.lo))
     reach = monotone_flood(local_open, _seed_at(local_open.shape, local_src))
     return bool(reach[local_dst])
 

@@ -8,7 +8,7 @@ exactly as real routers consult link liveness.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Type
+from typing import Callable
 
 import numpy as np
 

@@ -26,22 +26,56 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a :class:`numpy.random.SeedSequence`.
+
+    A ``SeedSequence`` input is *copied* (same entropy and spawn key,
+    spawn counter reset) so that repeated calls spawn the same children
+    — ``SeedSequence.spawn`` is stateful, and the sharded sweep runner
+    needs positional, replayable derivation.  Generators are consumed
+    for one draw so a fresh sequence is derived from their stream,
+    mirroring :func:`spawn_rngs`.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=seed.entropy,
+            spawn_key=seed.spawn_key,
+            pool_size=seed.pool_size,
+        )
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
+
+
+def spawn_seed_sequences(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive ``n`` independent child seed sequences (picklable).
+
+    The sharded sweep runner ships these to worker processes: a child
+    sequence fully determines its pattern's stream, so results do not
+    depend on which shard — or process — evaluates it.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seed sequences")
+    return list(as_seed_sequence(seed).spawn(n))
+
+
 def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent child generators.
 
     Used by parameter sweeps so every grid point gets its own stream and
     results do not depend on evaluation order (the HPC guides' rule:
     determinism first, parallelism later).
+
+    A ``SeedSequence`` input is used *statefully*: successive calls on
+    the same sequence keep yielding fresh independent children.  For
+    positional, replayable derivation use :func:`spawn_seed_sequences`.
     """
     if n < 0:
         raise ValueError(f"cannot spawn {n} generators")
     if isinstance(seed, np.random.SeedSequence):
         seq = seed
-    elif isinstance(seed, np.random.Generator):
-        # Derive a fresh sequence from the generator's own stream.
-        seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
     else:
-        seq = np.random.SeedSequence(seed)
+        seq = as_seed_sequence(seed)
     return [np.random.default_rng(s) for s in seq.spawn(n)]
 
 

@@ -7,7 +7,6 @@ from repro.baselines.ecube import ecube_path, ecube_succeeds
 from repro.baselines.greedy import greedy_route
 from repro.mesh.coords import is_monotone_path, manhattan
 from repro.mesh.regions import mask_of_cells
-from tests.conftest import random_mask
 
 
 class TestEcube:

@@ -16,7 +16,7 @@ from repro.mesh.regions import mask_of_cells
 from repro.routing.batch import RoutingService, route_batch
 from repro.routing.engine import AdaptiveRouter, route_adaptive
 from repro.routing.oracle import reverse_reachable, reverse_reachable_many
-from repro.routing.policies import DiagonalPolicy, FixedOrderPolicy
+from repro.routing.policies import DiagonalPolicy, FixedOrderPolicy, RandomPolicy
 from repro.util.caching import LRUCache
 from tests.conftest import random_mask
 
@@ -198,6 +198,49 @@ class TestRoutingService:
         small = RoutingService(mask, reach_cache_size=2).route_batch(pairs)
         large = RoutingService(mask, reach_cache_size=None).route_batch(pairs)
         assert all(results_equal(a, b) for a, b in zip(small, large))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_replay_policy_matches_per_call_random_draws(self, seed):
+        """ROADMAP parity item: with ``replay_policy=True`` a stateful
+        ``RandomPolicy`` draws in input order, so batched paths equal
+        per-call paths element-wise (not just the delivery verdicts).
+        """
+        rng = np.random.default_rng(seed)
+        shape = (6, 6) if seed % 3 else (4, 4, 4)
+        mask = random_mask(rng, shape, int(rng.integers(1, 9)))
+        mode = AdaptiveRouter.MODES[seed % 4]
+        policy_seed = int(rng.integers(1 << 30))
+        pairs = []
+        for _ in range(25):
+            s = tuple(int(v) for v in rng.integers(0, shape[0], len(shape)))
+            d = tuple(int(v) for v in rng.integers(0, shape[0], len(shape)))
+            pairs.append((s, d))
+        service = RoutingService(
+            mask,
+            mode=mode,
+            policy=RandomPolicy(policy_seed),
+            replay_policy=True,
+        )
+        batched = service.route_batch(pairs)
+        solo_router = AdaptiveRouter(
+            mask, mode=mode, policy=RandomPolicy(policy_seed)
+        )
+        solo = [solo_router.route(s, d) for s, d in pairs]
+        for pair, got, want in zip(pairs, batched, solo):
+            assert results_equal(got, want), (mode, pair, got, want)
+
+    def test_replay_policy_without_state_changes_nothing(self):
+        rng = np.random.default_rng(5)
+        mask = random_mask(rng, (6, 6), 6)
+        pairs = []
+        for _ in range(40):
+            s = tuple(int(v) for v in rng.integers(0, 6, 2))
+            d = tuple(int(v) for v in rng.integers(0, 6, 2))
+            pairs.append((s, d))
+        plain = RoutingService(mask).route_batch(pairs)
+        replayed = RoutingService(mask, replay_policy=True).route_batch(pairs)
+        assert all(results_equal(a, b) for a, b in zip(plain, replayed))
 
     def test_shared_labelling_with_region_experiment(self):
         from repro.experiments.exp_region_overhead import region_overhead_once

@@ -18,7 +18,7 @@ from repro.core.conditions import (
     minimal_path_exists_lemma1,
     minimal_path_exists_theorem,
 )
-from repro.core.labelling import SAFE, label_grid
+from repro.core.labelling import label_grid
 from repro.core.walls import build_walls
 from repro.mesh.regions import mask_of_cells
 from tests.conftest import oracle_feasible, random_mask

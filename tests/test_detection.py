@@ -89,7 +89,6 @@ class TestWalks2D:
         """The two greedy walks decide exactly minimal-path existence."""
         rng = np.random.default_rng(seed)
         mask = random_mask(rng, (7, 7), int(rng.integers(1, 12)))
-        lab = label_grid(mask)
         for _ in range(8):
             s = tuple(int(v) for v in rng.integers(0, 7, 2))
             d = tuple(int(v) for v in rng.integers(0, 7, 2))
@@ -125,7 +124,6 @@ class TestFloods3D:
     def test_agrees_with_oracle_3d(self, seed):
         rng = np.random.default_rng(seed)
         mask = random_mask(rng, (5, 5, 5), int(rng.integers(1, 14)))
-        lab = label_grid(mask)
         for _ in range(6):
             s = tuple(int(v) for v in rng.integers(0, 5, 3))
             d = tuple(int(v) for v in rng.integers(0, 5, 3))

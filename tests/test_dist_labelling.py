@@ -73,7 +73,7 @@ class TestProtocolBehaviour:
         """Future-work scenario: a new fault appears; re-running the
         protocol from current knowledge converges to the new truth."""
         mask = mask_of_cells([(3, 4)], (8, 8))
-        net = run_distributed_labelling(Mesh2D(8), mask)
+        run_distributed_labelling(Mesh2D(8), mask)
         # Inject a second fault and restart the protocol on the union.
         mask2 = mask.copy()
         mask2[4, 3] = True

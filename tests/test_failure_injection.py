@@ -14,7 +14,6 @@ truth), which is the paper's future-work scenario.
 import numpy as np
 
 from repro.core.labelling import label_grid
-from repro.distributed.labelling_proto import labels_as_grid
 from repro.distributed.pipeline import DistributedMCCPipeline, MCCProtocolNode
 from repro.mesh.regions import mask_of_cells
 from repro.mesh.topology import Mesh2D

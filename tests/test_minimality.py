@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.rfb import rfb_unsafe
-from repro.core.labelling import SAFE, label_grid
+from repro.core.labelling import label_grid
 from repro.routing.oracle import minimal_path_exists
 from tests.conftest import random_mask
 

@@ -1,7 +1,6 @@
 """Integration tests through the top-level public API."""
 
 import numpy as np
-import pytest
 
 import repro
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.labelling import label_grid
-from repro.mesh.coords import is_monotone_path, manhattan
+from repro.mesh.coords import manhattan
 from repro.mesh.regions import mask_of_cells
 from repro.routing.engine import AdaptiveRouter, explore_all_choices, route_adaptive
 from repro.routing.policies import (
@@ -29,8 +29,6 @@ class TestBasics:
         mask = np.zeros((6, 6), dtype=bool)
         result = route_adaptive(mask, (5, 5), (0, 0))
         assert result.delivered
-        # Mesh-frame path decreases monotonically on both axes.
-        rev = [tuple(2 * 5 - 0 - c for c in p) for p in result.path]
         assert result.hops == 10
 
     def test_infeasible_reported(self):
@@ -67,7 +65,6 @@ class TestMinimalityAllModes:
         rng = np.random.default_rng(seed)
         mask = random_mask(rng, (8, 8), int(rng.integers(1, 12)))
         router = AdaptiveRouter(mask, mode="mcc", policy=RandomPolicy(seed))
-        lab = label_grid(mask)
         for _ in range(8):
             s = tuple(int(v) for v in rng.integers(0, 8, 2))
             d = tuple(int(v) for v in rng.integers(0, 8, 2))

@@ -1,6 +1,5 @@
 """Unit tests for the mesh topology."""
 
-import numpy as np
 import pytest
 
 from repro.mesh.coords import Direction

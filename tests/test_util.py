@@ -4,11 +4,13 @@ import numpy as np
 import pytest
 
 from repro.util.rng import (
+    as_seed_sequence,
     iter_seeds,
     make_rng,
     sample_distinct,
     shuffled,
     spawn_rngs,
+    spawn_seed_sequences,
 )
 from repro.util.validation import (
     check_index,
@@ -38,6 +40,32 @@ class TestRng:
     def test_spawn_negative_rejected(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
+
+    def test_spawn_rngs_seed_sequence_stays_stateful(self):
+        # Successive calls on ONE sequence must keep yielding fresh
+        # independent streams (the pre-existing contract).
+        seq = np.random.SeedSequence(3)
+        first = [g.integers(10**9) for g in spawn_rngs(seq, 2)]
+        second = [g.integers(10**9) for g in spawn_rngs(seq, 2)]
+        assert first != second
+
+    def test_spawn_seed_sequences_is_replayable(self):
+        # The sharded sweep runner's derivation is positional: the same
+        # input sequence always spawns the same children.
+        seq = np.random.SeedSequence(3)
+        a = spawn_seed_sequences(seq, 3)
+        b = spawn_seed_sequences(seq, 3)
+        assert [s.spawn_key for s in a] == [s.spawn_key for s in b]
+        assert seq.n_children_spawned == 0  # caller's sequence untouched
+
+    def test_as_seed_sequence_copies_without_advancing(self):
+        seq = np.random.SeedSequence(9)
+        copy = as_seed_sequence(seq)
+        assert copy is not seq
+        assert copy.entropy == seq.entropy
+        assert copy.spawn_key == seq.spawn_key
 
     def test_sample_distinct(self):
         rng = make_rng(0)

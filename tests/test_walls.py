@@ -1,6 +1,5 @@
 """Tests for boundary walls and chain merging."""
 
-import numpy as np
 
 from repro.core.components import extract_mccs
 from repro.core.labelling import label_grid
