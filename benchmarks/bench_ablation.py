@@ -1,35 +1,34 @@
-"""A1–A4: ablations from DESIGN.md's experiment index."""
+"""A1–A4: ablations from DESIGN.md's experiment index.
+
+The multi-pattern ablations (A1, A4) run through
+:mod:`repro.parallel.sharding` like the paper tables — ``workers=`` and
+``shards=`` fan their fault patterns across processes with results
+byte-identical to the retired inline trial loops (also pinned in
+``tests/test_serial_parity.py``).
+"""
 
 import numpy as np
 
 from benchmarks.conftest import emit
 from repro.baselines.rfb import rfb_unsafe
 from repro.core.labelling import label_grid
+from repro.experiments.exp_ablation import run_mesh4d_extension, run_rfb_variants
 from repro.experiments.exp_region_overhead import run_region_overhead
 from repro.experiments.workloads import random_fault_mask
 from repro.mesh.coords import manhattan
 from repro.routing.engine import AdaptiveRouter
 from repro.routing.policies import make_policy
 from repro.util.records import ResultTable
-from repro.util.rng import spawn_rngs
 
 
 def test_a1_rfb_variants(benchmark):
     """Block expansion vs local-closure-only RFB regions."""
-    table = ResultTable("A1 RFB variants — 12^3 mesh, 10 trials")
-    rngs = spawn_rngs(11, 3)
-    for count, rng in zip([10, 40, 90], rngs):
-        local_total = block_total = 0
-        for _ in range(10):
-            mask = random_fault_mask((12, 12, 12), count, rng=rng)
-            local_total += int(rfb_unsafe(mask, variant="local").sum() - count)
-            block_total += int(rfb_unsafe(mask, variant="block").sum() - count)
-        table.add(
-            faults=count,
-            local_nonfaulty=local_total / 10,
-            block_nonfaulty=block_total / 10,
-        )
+    table = run_rfb_variants((12, 12, 12), [10, 40, 90], trials=10, seed=11)
     emit(table)
+    sharded = run_rfb_variants(
+        (12, 12, 12), [10, 40, 90], trials=10, seed=11, workers=2, shards=4
+    )
+    assert sharded.to_csv() == table.to_csv()
     for row in table.rows:
         assert row["local_nonfaulty"] <= row["block_nonfaulty"]
     mask = random_fault_mask((12, 12, 12), 40, rng=5)
@@ -94,16 +93,12 @@ def test_a3_clustering(benchmark):
 
 def test_a4_4d_extension(benchmark):
     """The paper's future work: higher-dimension meshes (4-D labelling)."""
-    table = ResultTable("A4 4-D extension — 7^4 mesh")
-    rngs = spawn_rngs(41, 2)
-    for count, rng in zip([24, 120], rngs):
-        mcc_total = 0
-        for _ in range(5):
-            mask = random_fault_mask((7, 7, 7, 7), count, rng=rng)
-            lab = label_grid(mask)
-            mcc_total += int(lab.unsafe_mask.sum() - count)
-        table.add(faults=count, mcc_nonfaulty=mcc_total / 5)
+    table = run_mesh4d_extension((7, 7, 7, 7), [24, 120], trials=5, seed=41)
     emit(table)
+    sharded = run_mesh4d_extension(
+        (7, 7, 7, 7), [24, 120], trials=5, seed=41, workers=2, shards=2
+    )
+    assert sharded.to_csv() == table.to_csv()
     # 4-D labelling needs 4 blocked neighbors: fills are rarer than 3-D.
     assert table.rows[0]["mcc_nonfaulty"] < 5
     mask = random_fault_mask((7, 7, 7, 7), 120, rng=43)

@@ -16,6 +16,7 @@ from repro.experiments.exp_success_rate import run_success_rate
 from repro.experiments.exp_protocol_overhead import run_protocol_overhead
 from repro.experiments.exp_des_routing import run_des_routing
 from repro.experiments.exp_fidelity import run_fidelity
+from repro.experiments.exp_ablation import run_mesh4d_extension, run_rfb_variants
 
 __all__ = [
     "random_fault_mask",
@@ -26,4 +27,6 @@ __all__ = [
     "run_protocol_overhead",
     "run_des_routing",
     "run_fidelity",
+    "run_rfb_variants",
+    "run_mesh4d_extension",
 ]

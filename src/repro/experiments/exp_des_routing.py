@@ -136,12 +136,14 @@ def run_des_routing(
     seed: SeedLike = 2005,
     workers: int = 1,
     shards: int | None = None,
+    checkpoint: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; distributed routing quality metrics.
 
     ``workers`` shards the fault patterns (pipeline build + query
     replay) across processes (1 = in-process serial fallback); results
-    are identical for any value.
+    are identical for any value.  ``checkpoint`` journals per-pattern
+    records for resumable runs.
     """
     spec = SweepSpec(
         experiment="des_routing",
@@ -151,4 +153,4 @@ def run_des_routing(
         seed=seed,
         params={"queries": queries},
     )
-    return run_sweep(spec, workers=workers, shards=shards)
+    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)

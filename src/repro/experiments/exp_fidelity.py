@@ -11,18 +11,36 @@ Quantifies the paper's exactness claims against the oracle:
 * ``exclusion_exact`` — fraction of pairs where the MCC-guided
   candidate sets equal the oracle candidate sets at every reachable
   node ("fully adaptive": the model forbids nothing it shouldn't).
+
+Each fault pattern — its condition evaluator, router, and pair workload
+— is one sharded :class:`repro.parallel.sharding.PatternTask`;
+``run_fidelity(..., workers=N)`` fans the patterns out across processes
+and ``checkpoint=`` makes long sweeps resumable.  Seeding replays the
+retired serial loop's per-fault-count stream (mask + pair draws only,
+via :func:`repro.parallel.sharding.legacy_rng`), so the sharded tables
+are byte-identical to the pre-port serial outputs at any seed (pinned
+in ``tests/test_serial_parity.py``).
+
+Command line (flags shared with the other sweeps)::
+
+    PYTHONPATH=src python -m repro.parallel t5 --shape 8 8 8 \
+        --fault-counts 8 25 --trials 3 --pairs 30 --workers 4 \
+        --checkpoint out/t5.jsonl
 """
 
 from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
 
 from repro.core.conditions import ConditionEvaluator
 from repro.core.detection import detection_feasible
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair
 from repro.mesh.orientation import Orientation
+from repro.parallel.sharding import PatternTask, SweepSpec, legacy_rng, run_sweep
 from repro.routing.engine import AdaptiveRouter, explore_all_choices
 from repro.routing.oracle import minimal_path_exists, reverse_reachable
 from repro.util.records import ResultTable
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import SeedLike
 
 
 def _candidate_sets_match(
@@ -61,56 +79,113 @@ def _candidate_sets_match(
     return True
 
 
+def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
+    """Model-vs-oracle agreement counters for one fault pattern."""
+    shape = spec.shape
+    pairs = int(spec.param("pairs", 60))
+
+    def replay(rng):
+        # One earlier trial's draws: its mask, then its full pair loop.
+        mask = random_fault_mask(shape, task.count, rng=rng)
+        for _ in range(pairs):
+            sample_safe_pair(~mask, rng=rng, min_distance=2)
+
+    rng = legacy_rng(spec, task, replay)
+    mask = random_fault_mask(shape, task.count, rng=rng)
+    evaluator = ConditionEvaluator(mask)
+    router = AdaptiveRouter(mask, mode="mcc")
+    record = {
+        "cond_agree": 0,
+        "detect_agree": 0,
+        "total": 0,
+        "feasible": 0,
+        "router_complete": 0,
+        "exclusion_exact": 0,
+    }
+    for _ in range(pairs):
+        pair = sample_safe_pair(~mask, rng=rng, min_distance=2)
+        if pair is None or not evaluator.endpoint_safe(*pair):
+            continue
+        source, dest = pair
+        record["total"] += 1
+        orientation = Orientation.for_pair(source, dest, shape)
+        want = minimal_path_exists(
+            orientation.to_canonical(~mask),
+            orientation.map_coord(source),
+            orientation.map_coord(dest),
+        )
+        record["cond_agree"] += evaluator.exists(source, dest) == want
+        record["detect_agree"] += detection_feasible(mask, source, dest) == want
+        if want:
+            record["feasible"] += 1
+            ok, _ = explore_all_choices(router, source, dest)
+            record["router_complete"] += ok
+            record["exclusion_exact"] += _candidate_sets_match(
+                router, source, dest
+            )
+    return record
+
+
+def reduce_records(
+    spec: SweepSpec, records: Sequence[Mapping[str, Any]]
+) -> ResultTable:
+    """Merge per-pattern agreement counters into the T5 table."""
+    dims = f"{len(spec.shape)}-D {'x'.join(map(str, spec.shape))}"
+    table = ResultTable(title=f"T5 model fidelity vs oracle — {dims} mesh")
+    for count_index, count in enumerate(spec.fault_counts):
+        rows = [r for r in records if r["_count_index"] == count_index]
+        sums = {
+            key: sum(r[key] for r in rows)
+            for key in (
+                "cond_agree",
+                "detect_agree",
+                "total",
+                "feasible",
+                "router_complete",
+                "exclusion_exact",
+            )
+        }
+        total = sums["total"]
+        feasible = sums["feasible"]
+        table.add(
+            faults=count,
+            pairs=total,
+            cond_agree=sums["cond_agree"] / total if total else 1.0,
+            detect_agree=sums["detect_agree"] / total if total else 1.0,
+            feasible=feasible,
+            router_complete=(
+                sums["router_complete"] / feasible if feasible else 1.0
+            ),
+            exclusion_exact=(
+                sums["exclusion_exact"] / feasible if feasible else 1.0
+            ),
+        )
+    return table
+
+
 def run_fidelity(
     shape: tuple[int, ...],
     fault_counts: list[int],
     pairs: int = 60,
     trials: int = 5,
     seed: SeedLike = 2005,
+    workers: int = 1,
+    shards: int | None = None,
+    checkpoint: str | None = None,
 ) -> ResultTable:
-    """Sweep fault counts; agreement rates between model and oracle."""
-    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
-    table = ResultTable(
-        title=f"T5 model fidelity vs oracle — {dims} mesh"
+    """Sweep fault counts; agreement rates between model and oracle.
+
+    ``workers`` shards the fault patterns across processes (1 =
+    in-process serial fallback); results are identical for any value
+    and byte-identical to the retired serial implementation.
+    ``checkpoint`` journals per-pattern records for resumable runs.
+    """
+    spec = SweepSpec(
+        experiment="fidelity",
+        shape=tuple(shape),
+        fault_counts=tuple(fault_counts),
+        trials=trials,
+        seed=seed,
+        params={"pairs": pairs},
     )
-    rngs = spawn_rngs(seed, len(fault_counts))
-    for count, rng in zip(fault_counts, rngs):
-        cond_agree = detect_agree = total = 0
-        feasible_pairs = router_complete = exclusion_exact = 0
-        for _ in range(trials):
-            mask = random_fault_mask(shape, count, rng=rng)
-            evaluator = ConditionEvaluator(mask)
-            router = AdaptiveRouter(mask, mode="mcc")
-            for _ in range(pairs):
-                pair = sample_safe_pair(~mask, rng=rng, min_distance=2)
-                if pair is None or not evaluator.endpoint_safe(*pair):
-                    continue
-                source, dest = pair
-                total += 1
-                orientation = Orientation.for_pair(source, dest, shape)
-                want = minimal_path_exists(
-                    orientation.to_canonical(~mask),
-                    orientation.map_coord(source),
-                    orientation.map_coord(dest),
-                )
-                cond_agree += evaluator.exists(source, dest) == want
-                detect_agree += detection_feasible(mask, source, dest) == want
-                if want:
-                    feasible_pairs += 1
-                    ok, _ = explore_all_choices(router, source, dest)
-                    router_complete += ok
-                    exclusion_exact += _candidate_sets_match(router, source, dest)
-        table.add(
-            faults=count,
-            pairs=total,
-            cond_agree=cond_agree / total if total else 1.0,
-            detect_agree=detect_agree / total if total else 1.0,
-            feasible=feasible_pairs,
-            router_complete=(
-                router_complete / feasible_pairs if feasible_pairs else 1.0
-            ),
-            exclusion_exact=(
-                exclusion_exact / feasible_pairs if feasible_pairs else 1.0
-            ),
-        )
-    return table
+    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)

@@ -4,38 +4,64 @@ The point of the paper's "limited global information" design: protocol
 cost scales with the fault regions, not the mesh.  We run the full
 distributed pipeline (labelling → identification → boundaries) on
 random fault patterns and report messages per phase and per kind.
+
+Each fault pattern — one pipeline build plus its message audit — is one
+sharded :class:`repro.parallel.sharding.PatternTask`;
+``run_protocol_overhead(..., workers=N)`` fans the patterns out across
+processes and ``checkpoint=`` makes long sweeps resumable.  Seeding
+replays the retired serial loop's per-fault-count stream
+(:func:`repro.parallel.sharding.legacy_rng`), so the sharded tables are
+byte-identical to the pre-port serial outputs at any seed (pinned in
+``tests/test_serial_parity.py``).
+
+Command line (flags shared with the other sweeps)::
+
+    PYTHONPATH=src python -m repro.parallel t3 --shape 9 9 9 \
+        --fault-counts 4 12 24 --trials 3 --workers 4 \
+        --checkpoint out/t3.jsonl
 """
 
 from __future__ import annotations
 
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
 from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask
 from repro.mesh.topology import Mesh
+from repro.parallel.sharding import PatternTask, SweepSpec, legacy_rng, run_sweep
 from repro.util.records import ResultTable
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import SeedLike
 
 
-def run_protocol_overhead(
-    shape: tuple[int, ...],
-    fault_counts: list[int],
-    trials: int = 5,
-    seed: SeedLike = 2005,
-) -> ResultTable:
-    """Sweep fault counts; mean protocol message counts per phase."""
-    dims = f"{len(shape)}-D {'x'.join(map(str, shape))}"
-    table = ResultTable(
-        title=f"T3 protocol message overhead — {dims} mesh, {trials} trials"
+def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, Any]:
+    """Protocol message counts for one sampled fault pattern."""
+    rng = legacy_rng(
+        spec, task, lambda r: random_fault_mask(spec.shape, task.count, rng=r)
     )
-    mesh = Mesh(shape)
-    rngs = spawn_rngs(seed, len(fault_counts))
-    for count, rng in zip(fault_counts, rngs):
+    mask = random_fault_mask(spec.shape, task.count, rng=rng)
+    pipe = DistributedMCCPipeline(Mesh(spec.shape), mask).build()
+    return {"msgs": {kind: int(n) for kind, n in pipe.message_counts().items()}}
+
+
+def reduce_records(
+    spec: SweepSpec, records: Sequence[Mapping[str, Any]]
+) -> ResultTable:
+    """Merge per-pattern message counts into the T3 table."""
+    dims = f"{len(spec.shape)}-D {'x'.join(map(str, spec.shape))}"
+    table = ResultTable(
+        title=f"T3 protocol message overhead — {dims} mesh, {spec.trials} trials"
+    )
+    mesh_size = int(np.prod(spec.shape))
+    for count_index, count in enumerate(spec.fault_counts):
         sums: dict[str, float] = {}
-        for _ in range(trials):
-            mask = random_fault_mask(shape, count, rng=rng)
-            pipe = DistributedMCCPipeline(mesh, mask).build()
-            for kind, n in pipe.message_counts().items():
+        for record in records:
+            if record["_count_index"] != count_index:
+                continue
+            for kind, n in record["msgs"].items():
                 sums[kind] = sums.get(kind, 0.0) + n
-        row = {k: v / trials for k, v in sorted(sums.items())}
+        row = {k: v / spec.trials for k, v in sorted(sums.items())}
         table.add(
             faults=count,
             label=row.get("LABEL", 0.0),
@@ -49,6 +75,32 @@ def run_protocol_overhead(
                 row.get("phase[labelling]", 0.0)
                 + row.get("phase[identification+boundaries]", 0.0)
             )
-            / mesh.size,
+            / mesh_size,
         )
     return table
+
+
+def run_protocol_overhead(
+    shape: tuple[int, ...],
+    fault_counts: list[int],
+    trials: int = 5,
+    seed: SeedLike = 2005,
+    workers: int = 1,
+    shards: int | None = None,
+    checkpoint: str | None = None,
+) -> ResultTable:
+    """Sweep fault counts; mean protocol message counts per phase.
+
+    ``workers`` shards the fault patterns across processes (1 =
+    in-process serial fallback); results are identical for any value
+    and byte-identical to the retired serial implementation.
+    ``checkpoint`` journals per-pattern records for resumable runs.
+    """
+    spec = SweepSpec(
+        experiment="protocol_overhead",
+        shape=tuple(shape),
+        fault_counts=tuple(fault_counts),
+        trials=trials,
+        seed=seed,
+    )
+    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)

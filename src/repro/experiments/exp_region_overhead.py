@@ -110,11 +110,13 @@ def run_region_overhead(
     clustered: bool = False,
     workers: int = 1,
     shards: int | None = None,
+    checkpoint: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; average region overhead per model.
 
     ``workers`` shards the fault patterns across processes (1 =
     in-process serial fallback); results are identical for any value.
+    ``checkpoint`` journals per-pattern records for resumable runs.
     """
     spec = SweepSpec(
         experiment="region_overhead",
@@ -124,4 +126,4 @@ def run_region_overhead(
         seed=seed,
         params={"clustered": clustered},
     )
-    return run_sweep(spec, workers=workers, shards=shards)
+    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)

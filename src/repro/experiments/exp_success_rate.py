@@ -109,11 +109,13 @@ def run_success_rate(
     seed: SeedLike = 2005,
     workers: int = 1,
     shards: int | None = None,
+    checkpoint: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; success rate per model over random pairs.
 
     ``workers`` shards the fault patterns across processes (1 =
     in-process serial fallback); results are identical for any value.
+    ``checkpoint`` journals per-pattern records for resumable runs.
     """
     spec = SweepSpec(
         experiment="success_rate",
@@ -123,4 +125,4 @@ def run_success_rate(
         seed=seed,
         params={"pairs": pairs},
     )
-    return run_sweep(spec, workers=workers, shards=shards)
+    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)

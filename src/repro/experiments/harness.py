@@ -2,10 +2,15 @@
 
 ``run_all(profile="quick")`` keeps everything laptop-fast (seconds to a
 couple of minutes); ``profile="paper"`` uses the larger meshes and
-trial counts recorded in DESIGN.md's experiment index.
+trial counts recorded in DESIGN.md's experiment index.  All five tiers
+run through :mod:`repro.parallel.sharding`, so ``workers=`` fans every
+table's fault patterns across processes and ``checkpoint_dir=`` makes
+the whole evaluation resumable (one journal per table).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.experiments.exp_des_routing import run_des_routing
 from repro.experiments.exp_fidelity import run_fidelity
@@ -43,38 +48,55 @@ PROFILES = {
 
 
 def run_all(
-    profile: str = "quick", seed: int = 2005, workers: int = 1
+    profile: str = "quick",
+    seed: int = 2005,
+    workers: int = 1,
+    checkpoint_dir: str | None = None,
 ) -> dict[str, ResultTable]:
     """Regenerate T1–T5 for 2-D and 3-D; returns tables keyed by id.
 
-    ``workers`` shards the multi-pattern sweeps (T1/T2/T4) across
+    ``workers`` shards every table's multi-pattern sweep across
     processes via :mod:`repro.parallel.sharding`; tables are identical
-    for any value.
+    for any value.  ``checkpoint_dir`` (created if missing) journals
+    each table as ``<key>.jsonl`` so an interrupted evaluation resumes
+    where it stopped — completed tables reduce straight from disk.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; pick from {list(PROFILES)}")
     p = PROFILES[profile]
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    def ckpt(key: str) -> str | None:
+        if checkpoint_dir is None:
+            return None
+        return os.path.join(checkpoint_dir, f"{key}.jsonl")
+
     tables: dict[str, ResultTable] = {}
     tables["T1a"] = run_region_overhead(
-        p["shape2d"], p["faults2d"], trials=p["trials"], seed=seed, workers=workers
+        p["shape2d"], p["faults2d"], trials=p["trials"], seed=seed,
+        workers=workers, checkpoint=ckpt("T1a"),
     )
     tables["T1b"] = run_region_overhead(
-        p["shape3d"], p["faults3d"], trials=p["trials"], seed=seed, workers=workers
+        p["shape3d"], p["faults3d"], trials=p["trials"], seed=seed,
+        workers=workers, checkpoint=ckpt("T1b"),
     )
     tables["T2a"] = run_success_rate(
         p["shape2d"], p["faults2d"], pairs=p["pairs"], trials=max(2, p["trials"] // 4),
-        seed=seed, workers=workers,
+        seed=seed, workers=workers, checkpoint=ckpt("T2a"),
     )
     tables["T2b"] = run_success_rate(
         p["shape3d"], p["faults3d"], pairs=p["pairs"], trials=max(2, p["trials"] // 4),
-        seed=seed, workers=workers,
+        seed=seed, workers=workers, checkpoint=ckpt("T2b"),
     )
     tables["T3"] = run_protocol_overhead(
-        p["des_shape"], p["des_faults"], trials=p["des_trials"], seed=seed
+        p["des_shape"], p["des_faults"], trials=p["des_trials"], seed=seed,
+        workers=workers, checkpoint=ckpt("T3"),
     )
     tables["T4"] = run_des_routing(
         p["des_shape"], p["des_faults"], queries=p["des_queries"],
         trials=p["des_trials"], seed=seed, workers=workers,
+        checkpoint=ckpt("T4"),
     )
     tables["T5"] = run_fidelity(
         p["shape3d"] if profile == "quick" else (10, 10, 10),
@@ -82,6 +104,8 @@ def run_all(
         pairs=max(20, p["pairs"] // 5),
         trials=max(2, p["trials"] // 4),
         seed=seed,
+        workers=workers,
+        checkpoint=ckpt("T5"),
     )
     return tables
 

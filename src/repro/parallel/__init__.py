@@ -4,12 +4,34 @@ The experiments average over many independently sampled fault patterns;
 :mod:`repro.parallel.sharding` partitions that pattern axis across
 ``multiprocessing`` workers (one :class:`repro.routing.batch.RoutingService`
 per pattern inside each worker) and merges the per-pattern records into
-the experiment's summary table, seed-stably for any shard count.
+the experiment's summary table, seed-stably for any shard count.  All
+five paper tables (T1–T5) and the A1/A4 ablations run through this one
+execution path.
+
+Checkpoint & resume
+-------------------
+
+``run_sweep(..., checkpoint=path)`` journals one compact JSONL record
+per completed fault pattern under a header carrying the canonical
+:meth:`SweepSpec.fingerprint`.  Re-running the same sweep validates the
+fingerprint, skips the pattern indices already on disk, and reduces
+old+new records in global task order, so a sweep interrupted at any
+point resumes to a byte-identical merged table::
+
+    PYTHONPATH=src python -m repro.parallel t3 --workers 4 \\
+        --checkpoint out/t3.jsonl
+
+Interrupt it, run the exact command again, and only the missing
+patterns are evaluated.  See :mod:`repro.parallel.sharding` for the
+full CLI and format details.
 """
 
 from repro.parallel.sharding import (
     PatternTask,
+    PatternTaskError,
     SweepSpec,
+    legacy_rng,
+    load_checkpoint,
     partition_tasks,
     plan_tasks,
     run_sweep,
@@ -17,7 +39,10 @@ from repro.parallel.sharding import (
 
 __all__ = [
     "PatternTask",
+    "PatternTaskError",
     "SweepSpec",
+    "legacy_rng",
+    "load_checkpoint",
     "partition_tasks",
     "plan_tasks",
     "run_sweep",

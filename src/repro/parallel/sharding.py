@@ -26,31 +26,67 @@ import cycle with :mod:`repro.experiments`).
 Command-line interface (also see ``benchmarks/bench_sweep_sharding.py``)::
 
     PYTHONPATH=src python -m repro.parallel \
-        --experiment success_rate --shape 12 12 12 \
+        t2 --shape 12 12 12 \
         --fault-counts 20 60 120 --trials 8 --pairs 200 \
         --workers 4 --seed 2005
 
-Flags: ``--experiment`` picks the registered sweep (``success_rate``,
-``region_overhead``, ``des_routing``); ``--shape``/``--fault-counts``/
-``--trials``/``--seed`` define the pattern grid; ``--pairs`` (T1/T2) or
-``--queries`` (T4) size the per-pattern workload; ``--workers`` sets the
-process count (1 = in-process) and ``--shards`` overrides the partition
-count (defaults to ``workers``) for shard-invariance checks; ``--csv``
-emits CSV instead of the text table.
+The positional experiment accepts registered names (``success_rate``,
+``region_overhead``, ``des_routing``, ``protocol_overhead``,
+``fidelity``, ``ablation_rfb``, ``ablation_4d``) or the paper's table
+aliases (``t1``–``t5``, ``a1``, ``a4``); ``--experiment NAME`` is kept
+for scripts.  ``--shape``/``--fault-counts``/``--trials``/``--seed``
+define the pattern grid; ``--pairs`` (T1/T2/T5) or ``--queries`` (T4)
+size the per-pattern workload; ``--workers`` sets the process count
+(1 = in-process) and ``--shards`` overrides the partition count
+(defaults to ``workers``) for shard-invariance checks; ``--csv`` emits
+CSV instead of the text table; ``--save PATH`` writes the merged table
+in the durable JSONL format.
+
+Checkpoint & resume
+-------------------
+
+Long sweeps survive interruption: ``run_sweep(..., checkpoint=path)``
+(CLI ``--checkpoint PATH``) opens a JSONL journal whose header carries
+the canonical :meth:`SweepSpec.fingerprint`, and appends one compact
+record per completed fault pattern as shards finish (flushed + fsynced,
+so a kill loses at most the in-flight shard).  Restarting the same
+command validates the fingerprint — a checkpoint from a different spec
+fails loudly with :class:`repro.util.records.FingerprintMismatchError` —
+drops any partially written final line, skips the task indices already
+on disk, and reduces old+new records in global task order, so the
+resumed table is byte-identical to an uninterrupted run (property-tested
+in ``tests/test_sweep_sharding.py``)::
+
+    PYTHONPATH=src python -m repro.parallel t3 --workers 4 \
+        --checkpoint out/t3.jsonl
+
+Run the command again after an interruption (same flags, same
+checkpoint path) and only the missing patterns are evaluated; a
+checkpoint that already holds every record reduces straight from disk
+without touching a worker.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import multiprocessing as mp
+import os
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.util.records import ResultTable
+from repro.util.records import (
+    ResultTable,
+    TablePersistenceError,
+    check_header,
+    fingerprint_of,
+    json_line,
+    read_jsonl,
+)
 from repro.util.rng import SeedLike, spawn_seed_sequences
 
 #: Registered experiments: name -> (evaluator path, reducer path).
@@ -70,7 +106,72 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "repro.experiments.exp_des_routing:evaluate_pattern",
         "repro.experiments.exp_des_routing:reduce_records",
     ),
+    "protocol_overhead": (
+        "repro.experiments.exp_protocol_overhead:evaluate_pattern",
+        "repro.experiments.exp_protocol_overhead:reduce_records",
+    ),
+    "fidelity": (
+        "repro.experiments.exp_fidelity:evaluate_pattern",
+        "repro.experiments.exp_fidelity:reduce_records",
+    ),
+    "ablation_rfb": (
+        "repro.experiments.exp_ablation:evaluate_rfb_pattern",
+        "repro.experiments.exp_ablation:reduce_rfb_records",
+    ),
+    "ablation_4d": (
+        "repro.experiments.exp_ablation:evaluate_mesh4d_pattern",
+        "repro.experiments.exp_ablation:reduce_mesh4d_records",
+    ),
 }
+
+#: Paper-table shorthands accepted by the CLI's positional argument.
+CLI_ALIASES: dict[str, str] = {
+    "t1": "region_overhead",
+    "t2": "success_rate",
+    "t3": "protocol_overhead",
+    "t4": "des_routing",
+    "t5": "fidelity",
+    "a1": "ablation_rfb",
+    "a4": "ablation_4d",
+}
+
+#: CLI dispatch: experiment -> (``run_*`` wrapper path, workload flags).
+#: The wrapper is the one place the experiment's SweepSpec is built, so
+#: CLI- and Python-started checkpoints share fingerprints by
+#: construction.  The parser's experiment choices derive from this dict
+#: (plus :data:`CLI_ALIASES`), so an experiment registered only in
+#: :data:`EXPERIMENTS` is cleanly rejected by argparse instead of
+#: crashing at dispatch; ``tests/test_sweep_sharding.py`` pins the two
+#: registries to the same key set.
+CLI_RUNNERS: dict[str, tuple[str, tuple[str, ...]]] = {
+    "success_rate": (
+        "repro.experiments.exp_success_rate:run_success_rate",
+        ("pairs",),
+    ),
+    "region_overhead": (
+        "repro.experiments.exp_region_overhead:run_region_overhead",
+        (),
+    ),
+    "des_routing": (
+        "repro.experiments.exp_des_routing:run_des_routing",
+        ("queries",),
+    ),
+    "protocol_overhead": (
+        "repro.experiments.exp_protocol_overhead:run_protocol_overhead",
+        (),
+    ),
+    "fidelity": ("repro.experiments.exp_fidelity:run_fidelity", ("pairs",)),
+    "ablation_rfb": ("repro.experiments.exp_ablation:run_rfb_variants", ()),
+    "ablation_4d": ("repro.experiments.exp_ablation:run_mesh4d_extension", ()),
+}
+
+#: Format marker + schema version of the sweep-checkpoint JSONL header.
+CHECKPOINT_FORMAT = "repro.sweep-checkpoint"
+CHECKPOINT_SCHEMA = 1
+
+
+class PatternTaskError(RuntimeError):
+    """A worker failed evaluating one fault pattern (task identified)."""
 
 
 @dataclass(frozen=True)
@@ -105,6 +206,42 @@ class SweepSpec:
     def param(self, name: str, default: Any) -> Any:
         return self.params.get(name, default)
 
+    def fingerprint(self) -> str:
+        """Canonical digest of the sweep: same spec ⇔ same fingerprint.
+
+        Stamped into checkpoint and result-table headers so a resume
+        against different parameters (or a different experiment) is
+        rejected instead of silently merging incompatible records.
+        Only replayable seeds can be fingerprinted: an ``int``/``None``
+        or a :class:`numpy.random.SeedSequence`; a live ``Generator``
+        has hidden stream state and raises ``TypeError``.
+        """
+        seed: Any = self.seed
+        if isinstance(seed, np.random.SeedSequence):
+            entropy = seed.entropy
+            seed = {
+                "entropy": list(entropy) if isinstance(entropy, (list, tuple))
+                else entropy,
+                "spawn_key": list(seed.spawn_key),
+                "pool_size": seed.pool_size,
+            }
+        elif isinstance(seed, np.random.Generator):
+            raise TypeError(
+                "cannot fingerprint a sweep seeded with a live Generator; "
+                "checkpointed sweeps need a replayable seed "
+                "(int, None, or SeedSequence)"
+            )
+        return fingerprint_of(
+            {
+                "experiment": self.experiment,
+                "shape": list(self.shape),
+                "fault_counts": list(self.fault_counts),
+                "trials": self.trials,
+                "seed": seed,
+                "params": dict(self.params),
+            }
+        )
+
 
 @dataclass(frozen=True)
 class PatternTask:
@@ -121,10 +258,39 @@ class PatternTask:
         return np.random.default_rng(self.seed)
 
 
-def _resolve(path: str) -> Callable:
-    """Import ``"module:attribute"`` lazily (worker-process safe)."""
+def _resolve(path: str | Callable) -> Callable:
+    """Import ``"module:attribute"`` lazily (worker-process safe).
+
+    Already-callable registry entries pass through, so tests can patch
+    :data:`EXPERIMENTS` with plain functions for in-process runs.
+    """
+    if callable(path):
+        return path
     module_name, _, attr = path.partition(":")
     return getattr(importlib.import_module(module_name), attr)
+
+
+def legacy_rng(
+    spec: SweepSpec,
+    task: PatternTask,
+    replay: Callable[[np.random.Generator], None],
+) -> np.random.Generator:
+    """The retired serial sweeps' stateful stream, positioned at ``task``.
+
+    The pre-sharding T3/T5/ablation loops drew one generator per fault
+    count (``spawn_rngs``) and threaded it through that count's trials,
+    so trial ``t``'s draws depend on trials ``0..t-1``.  To shard those
+    sweeps per-pattern *without changing their published numbers*, an
+    evaluator re-derives the count generator here and replays the
+    earlier trials' draws via ``replay(rng)`` — draws only (masks, pair
+    samples), never the expensive scoring, so the replay cost is
+    O(trials) cheap RNG calls per task.
+    """
+    seqs = spawn_seed_sequences(spec.seed, len(spec.fault_counts))
+    rng = np.random.default_rng(seqs[task.count_index])
+    for _ in range(task.trial):
+        replay(rng)
+    return rng
 
 
 def plan_tasks(spec: SweepSpec) -> list[PatternTask]:
@@ -167,11 +333,26 @@ def partition_tasks(
 def evaluate_shard(
     spec: SweepSpec, tasks: Sequence[PatternTask]
 ) -> list[dict[str, Any]]:
-    """Evaluate one shard's patterns; records tagged with task positions."""
+    """Evaluate one shard's patterns; records tagged with task positions.
+
+    A pattern that raises is re-raised as :class:`PatternTaskError`
+    naming the task's global index, fault count, trial, and seed, so a
+    failure deep inside a long parallel sweep identifies exactly which
+    pattern died and how to replay it.
+    """
     evaluator = _resolve(EXPERIMENTS[spec.experiment][0])
     records = []
     for task in tasks:
-        record = dict(evaluator(spec, task))
+        try:
+            record = dict(evaluator(spec, task))
+        except Exception as exc:
+            raise PatternTaskError(
+                f"pattern task {task.index} failed (experiment="
+                f"{spec.experiment!r}, faults={task.count}, "
+                f"trial={task.trial}, seed entropy={task.seed.entropy}, "
+                f"spawn_key={task.seed.spawn_key}): "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         record["_index"] = task.index
         record["_count_index"] = task.count_index
         record["_count"] = task.count
@@ -197,8 +378,52 @@ def reduce_records(
     return reducer(spec, ordered)
 
 
+def _checkpoint_header(spec: SweepSpec) -> dict[str, Any]:
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "schema": CHECKPOINT_SCHEMA,
+        "experiment": spec.experiment,
+        "fingerprint": spec.fingerprint(),
+    }
+
+
+def _has_complete_header(path: str | os.PathLike) -> bool:
+    """True when ``path`` holds at least one newline-terminated line."""
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return False
+    with open(path, "rb") as fh:
+        return fh.readline(1 << 20).endswith(b"\n")
+
+
+def load_checkpoint(
+    path: str | os.PathLike, spec: SweepSpec
+) -> dict[int, dict[str, Any]]:
+    """Completed per-pattern records from a checkpoint, keyed by index.
+
+    Validates the header (format marker, schema version, spec
+    fingerprint) and truncates any partially written final line — a
+    killed writer may leave one — so the file is append-clean again.
+    Duplicate indices keep the first occurrence.
+    """
+    header, rows, clean_bytes = read_jsonl(path, drop_partial_tail=True)
+    check_header(
+        header, path, CHECKPOINT_FORMAT, CHECKPOINT_SCHEMA, spec.fingerprint()
+    )
+    if os.path.getsize(path) > clean_bytes:
+        os.truncate(path, clean_bytes)
+    records: dict[int, dict[str, Any]] = {}
+    for row in rows:
+        index = row.get("_index")
+        if isinstance(index, int) and index not in records:
+            records[index] = row
+    return records
+
+
 def run_sweep(
-    spec: SweepSpec, workers: int = 1, shards: int | None = None
+    spec: SweepSpec,
+    workers: int = 1,
+    shards: int | None = None,
+    checkpoint: str | os.PathLike | None = None,
 ) -> ResultTable:
     """Run the sweep: plan, partition, evaluate (maybe in parallel), reduce.
 
@@ -206,29 +431,119 @@ def run_sweep(
     code path as the parallel run minus the pool, for debugging.
     ``shards`` defaults to ``max(workers, 1)``; passing a different
     value checks shard invariance or over-partitions for balance.
+
+    ``checkpoint`` names a JSONL journal: records append as they
+    complete (per pattern in-process, per shard under the pool, each
+    batch flushed and fsynced), and a rerun with the same spec skips the
+    patterns already on disk.  Because the reducer consumes records in
+    global task order, the resumed table is byte-identical to an
+    uninterrupted run for any shard/worker count and any interruption
+    point.  Records pass through the JSON codec even on the first run,
+    so fresh and reloaded records are the same plain types.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     tasks = plan_tasks(spec)
-    shard_lists = partition_tasks(tasks, shards if shards is not None else workers)
+    done: dict[int, dict[str, Any]] = {}
+    journal = None
+    if checkpoint is not None:
+        if _has_complete_header(checkpoint):
+            done = load_checkpoint(checkpoint, spec)
+        else:
+            # Missing, empty, or killed mid-header-write (a non-empty
+            # file with no newline yet): (re)start a fresh journal.
+            # Overwriting is only safe when the stub really is our own
+            # interrupted header — a prefix of this spec's header line —
+            # otherwise a mistyped path would destroy an unrelated file.
+            header_line = (json_line(_checkpoint_header(spec)) + "\n").encode(
+                "utf-8"
+            )
+            if os.path.exists(checkpoint) and os.path.getsize(checkpoint) > 0:
+                with open(checkpoint, "rb") as fh:
+                    stub = fh.read(len(header_line) + 1)
+                if not header_line.startswith(stub):
+                    raise TablePersistenceError(
+                        f"{checkpoint}: existing file is not a checkpoint "
+                        "for this sweep (nor an interrupted header write); "
+                        "refusing to overwrite it"
+                    )
+            with open(checkpoint, "w", encoding="utf-8", newline="") as fh:
+                fh.write(header_line.decode("utf-8"))
+                fh.flush()
+                os.fsync(fh.fileno())
+        journal = open(checkpoint, "a", encoding="utf-8", newline="")
+
+    remaining = [t for t in tasks if t.index not in done]
+    shard_lists = partition_tasks(
+        remaining, shards if shards is not None else workers
+    )
     work = [(spec, shard) for shard in shard_lists if shard]
-    if workers == 1 or len(work) <= 1:
-        shard_records = [evaluate_shard(s, ts) for s, ts in work]
-    else:
-        # Fork is cheap and safe on Linux; elsewhere take the platform
-        # default (macOS forks crash in Accelerate/objc after numpy
-        # import — tasks are picklable by design, so spawn just works).
-        ctx = mp.get_context("fork") if sys.platform == "linux" else mp.get_context()
-        with ctx.Pool(processes=min(workers, len(work))) as pool:
-            shard_records = pool.map(_evaluate_shard_star, work)
-    return reduce_records(spec, [r for shard in shard_records for r in shard])
+    new_records: list[dict[str, Any]] = []
+
+    def absorb(shard_records: list[dict[str, Any]]) -> None:
+        if journal is None:
+            new_records.extend(shard_records)
+            return
+        lines = [json_line(r) for r in shard_records]
+        journal.write("".join(line + "\n" for line in lines))
+        journal.flush()
+        os.fsync(journal.fileno())
+        # Keep the in-memory copy JSON-typed, exactly as a resume would
+        # reload it, so checkpointed and resumed reductions are
+        # bit-for-bit the same arithmetic.
+        new_records.extend(json.loads(line) for line in lines)
+
+    try:
+        if workers == 1 or len(work) <= 1:
+            for s, shard in work:
+                if journal is None:
+                    absorb(evaluate_shard(s, shard))
+                else:
+                    # Per-pattern journal granularity: a kill mid-shard
+                    # loses only the pattern being evaluated.
+                    for task in shard:
+                        absorb(evaluate_shard(s, [task]))
+        else:
+            # Fork is cheap and safe on Linux; elsewhere take the platform
+            # default (macOS forks crash in Accelerate/objc after numpy
+            # import — tasks are picklable by design, so spawn just works).
+            ctx = (
+                mp.get_context("fork")
+                if sys.platform == "linux"
+                else mp.get_context()
+            )
+            with ctx.Pool(processes=min(workers, len(work))) as pool:
+                for shard_records in pool.imap_unordered(
+                    _evaluate_shard_star, work
+                ):
+                    absorb(shard_records)
+    finally:
+        if journal is not None:
+            journal.close()
+    table = reduce_records(spec, list(done.values()) + new_records)
+    try:
+        table.fingerprint = spec.fingerprint()
+    except TypeError:
+        pass  # Generator-seeded sweeps have no canonical fingerprint.
+    return table
 
 
 def main(argv: Sequence[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         description="Run a sharded multi-pattern experiment sweep."
     )
-    parser.add_argument("--experiment", choices=sorted(EXPERIMENTS), required=True)
+    parser.add_argument(
+        "experiment_name",
+        nargs="?",
+        metavar="experiment",
+        choices=sorted(CLI_RUNNERS) + sorted(CLI_ALIASES),
+        help="registered experiment or paper-table alias (t1..t5, a1, a4)",
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=sorted(CLI_RUNNERS),
+        help="registered experiment (script-friendly form of the positional)",
+    )
     parser.add_argument("--shape", type=int, nargs="+", default=[12, 12, 12])
     parser.add_argument(
         "--fault-counts", type=int, nargs="+", default=[20, 60, 120]
@@ -239,17 +554,42 @@ def main(argv: Sequence[str] | None = None) -> None:
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="JSONL journal: append per-pattern records, resume if it exists",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="also write the merged table as durable JSONL",
+    )
     parser.add_argument("--csv", action="store_true", help="emit CSV")
     args = parser.parse_args(argv)
-    spec = SweepSpec(
-        experiment=args.experiment,
-        shape=tuple(args.shape),
-        fault_counts=tuple(args.fault_counts),
+    if args.experiment_name and args.experiment:
+        parser.error(
+            "give the experiment either positionally or via --experiment, "
+            "not both"
+        )
+    name = args.experiment_name or args.experiment
+    if name is None:
+        parser.error("an experiment is required (positional or --experiment)")
+    experiment = CLI_ALIASES.get(name, name)
+    runner_path, workload_flags = CLI_RUNNERS[experiment]
+    table = _resolve(runner_path)(
+        tuple(args.shape),
+        list(args.fault_counts),
         trials=args.trials,
         seed=args.seed,
-        params={"pairs": args.pairs, "queries": args.queries},
+        workers=args.workers,
+        shards=args.shards,
+        checkpoint=args.checkpoint,
+        **{flag: getattr(args, flag) for flag in workload_flags},
     )
-    table = run_sweep(spec, workers=args.workers, shards=args.shards)
+    if args.save:
+        table.save(args.save)
     print(table.to_csv() if args.csv else table.render())
 
 

@@ -1,0 +1,145 @@
+"""Round-trip tests for the durable ResultTable format (JSONL).
+
+The format must preserve exactly what the reducers produce — title,
+column order, and row values including ``None``, ``NaN``, and the
+int-vs-float distinction — and must reject files it cannot trust:
+wrong format marker, unknown schema version, mismatched spec
+fingerprint, or a file cut off mid-write.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.util.records import (
+    RESULT_TABLE_FORMAT,
+    RESULT_TABLE_SCHEMA,
+    FingerprintMismatchError,
+    ResultTable,
+    SchemaVersionError,
+    TablePersistenceError,
+    fingerprint_of,
+    json_line,
+    read_jsonl,
+)
+
+
+def demo_table() -> ResultTable:
+    table = ResultTable("demo — sweep")
+    table.add(faults=2, rate=0.5, note="ok")
+    table.add(faults=4, rate=float("nan"), extra=None)
+    table.add(faults=8, rate=1.0, extra=3, inf=float("inf"))
+    return table
+
+
+class TestRoundTrip:
+    def test_preserves_title_columns_and_values(self, tmp_path):
+        table = demo_table()
+        path = tmp_path / "demo.jsonl"
+        table.save(path)
+        loaded = ResultTable.load(path)
+        assert loaded.title == table.title
+        assert loaded.columns == table.columns  # discovery order kept
+        assert len(loaded) == len(table)
+        assert loaded.rows[0] == table.rows[0]
+        assert loaded.rows[2] == table.rows[2]
+        # Row 1 has a NaN, which is != itself; compare field-wise.
+        assert loaded.rows[1]["faults"] == 4
+        assert math.isnan(loaded.rows[1]["rate"])
+        assert loaded.rows[1]["extra"] is None
+
+    def test_int_float_distinction_survives(self, tmp_path):
+        table = ResultTable("types")
+        table.add(a=1, b=1.0, c=-0.0)
+        path = tmp_path / "t.jsonl"
+        table.save(path)
+        row = ResultTable.load(path).rows[0]
+        assert isinstance(row["a"], int) and not isinstance(row["a"], bool)
+        assert isinstance(row["b"], float)
+        assert math.copysign(1.0, row["c"]) == -1.0
+
+    def test_missing_cells_stay_missing(self, tmp_path):
+        table = ResultTable("sparse")
+        table.add(x=1)
+        table.add(y=2)
+        path = tmp_path / "s.jsonl"
+        table.save(path)
+        loaded = ResultTable.load(path)
+        assert "y" not in loaded.rows[0] and "x" not in loaded.rows[1]
+        assert loaded.column("x") == [1, None]
+        assert loaded.to_csv() == table.to_csv()
+        assert loaded.render() == table.render()
+
+    def test_empty_table_round_trips(self, tmp_path):
+        table = ResultTable("empty", columns=["a", "b"])
+        path = tmp_path / "e.jsonl"
+        table.save(path)
+        loaded = ResultTable.load(path)
+        assert loaded.columns == ["a", "b"] and len(loaded) == 0
+
+    def test_saved_bytes_are_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        demo_table().save(a, fingerprint="f" * 64)
+        demo_table().save(b, fingerprint="f" * 64)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestFingerprint:
+    def test_matching_fingerprint_loads(self, tmp_path):
+        fp = fingerprint_of({"seed": 7, "shape": [6, 6]})
+        path = tmp_path / "f.jsonl"
+        demo_table().save(path, fingerprint=fp)
+        assert len(ResultTable.load(path, fingerprint=fp)) == 3
+        # No expectation -> no check.
+        assert len(ResultTable.load(path)) == 3
+
+    def test_mismatched_fingerprint_rejected(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        demo_table().save(path, fingerprint=fingerprint_of({"seed": 7}))
+        with pytest.raises(FingerprintMismatchError, match="different sweep"):
+            ResultTable.load(path, fingerprint=fingerprint_of({"seed": 8}))
+
+    def test_fingerprint_is_canonical(self):
+        assert fingerprint_of({"a": 1, "b": 2}) == fingerprint_of({"b": 2, "a": 1})
+        assert fingerprint_of({"a": 1}) != fingerprint_of({"a": 2})
+
+
+class TestRejection:
+    def test_unknown_schema_version(self, tmp_path):
+        path = tmp_path / "v.jsonl"
+        demo_table().save(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = RESULT_TABLE_SCHEMA + 99
+        lines[0] = json_line(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaVersionError, match="schema version"):
+            ResultTable.load(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json_line({"format": "something-else", "schema": 1}) + "\n")
+        with pytest.raises(TablePersistenceError, match=RESULT_TABLE_FORMAT):
+            ResultTable.load(path)
+
+    def test_garbage_and_empty_files(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(TablePersistenceError, match="invalid JSONL"):
+            ResultTable.load(path)
+        path.write_text("")
+        with pytest.raises(TablePersistenceError, match="empty file"):
+            ResultTable.load(path)
+
+    def test_truncated_final_line_rejected_unless_asked(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        demo_table().save(path)
+        content = path.read_text()
+        path.write_text(content[:-5])  # cut mid-row, no trailing newline
+        with pytest.raises(TablePersistenceError, match="truncated"):
+            ResultTable.load(path)
+        header, rows, clean = read_jsonl(path, drop_partial_tail=True)
+        assert header["format"] == RESULT_TABLE_FORMAT
+        assert len(rows) == 2  # the ragged third row was dropped
+        assert clean < len(content.encode())

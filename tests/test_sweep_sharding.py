@@ -5,7 +5,13 @@ shard count and any worker count, because every pattern owns a
 positionally derived seed and the reducer consumes records in global
 task order.  Covers empty shards (more shards than tasks) and
 single-pattern shards, plus the multiprocessing pool path itself.
+
+Checkpointing extends the property across process lifetimes: a sweep
+killed after any prefix of completed pattern records resumes from its
+journal to the same bytes (TestCheckpointResume).
 """
+
+import json
 
 import numpy as np
 import pytest
@@ -16,13 +22,23 @@ from repro.experiments.exp_des_routing import run_des_routing
 from repro.experiments.exp_region_overhead import run_region_overhead
 from repro.experiments.exp_success_rate import run_success_rate
 from repro.parallel.sharding import (
+    CHECKPOINT_SCHEMA,
     EXPERIMENTS,
+    PatternTaskError,
     SweepSpec,
     evaluate_shard,
+    load_checkpoint,
     partition_tasks,
     plan_tasks,
     reduce_records,
     run_sweep,
+)
+from repro.util.records import (
+    FingerprintMismatchError,
+    ResultTable,
+    SchemaVersionError,
+    TablePersistenceError,
+    json_line,
 )
 
 
@@ -162,6 +178,225 @@ class TestPortedExperiments:
             assert callable(_resolve(evaluator_path))
             assert callable(_resolve(reducer_path))
 
+    def test_cli_registries_cover_all_experiments(self):
+        # CLI_RUNNERS (dispatch + parser choices) and CLI_ALIASES must
+        # track EXPERIMENTS: add an experiment, add its CLI runner.
+        from repro.parallel.sharding import CLI_ALIASES, CLI_RUNNERS, _resolve
+
+        assert set(CLI_RUNNERS) == set(EXPERIMENTS)
+        assert set(CLI_ALIASES.values()) <= set(CLI_RUNNERS)
+        for runner_path, workload_flags in CLI_RUNNERS.values():
+            assert callable(_resolve(runner_path))
+            assert set(workload_flags) <= {"pairs", "queries"}
+
+
+def journal_lines(path) -> list[str]:
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        return fh.read().splitlines(keepends=True)
+
+
+class TestCheckpointResume:
+    def test_checkpointed_run_matches_plain_run(self, tmp_path):
+        spec = small_spec()
+        plain = run_sweep(spec, workers=1)
+        journal = tmp_path / "t2.jsonl"
+        checkpointed = run_sweep(spec, workers=1, checkpoint=journal)
+        assert checkpointed.to_csv() == plain.to_csv()
+        # One header + one record per pattern, every index journalled.
+        lines = journal_lines(journal)
+        assert len(lines) == len(plan_tasks(spec)) + 1
+        assert sorted(json.loads(ln)["_index"] for ln in lines[1:]) == list(
+            range(len(lines) - 1)
+        )
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        k=st.integers(0, 4),
+        shards=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_kill_and_resume_is_byte_identical(self, tmp_path_factory, seed, k, shards):
+        """Truncate the journal after k of n records; resume; same bytes.
+
+        ``k`` spans 0 (header only) through n (complete journal, nothing
+        left to evaluate); the spec has n = 2 counts x 2 trials = 4.
+        """
+        spec = small_spec(seed=seed, trials=2, params={"pairs": 6})
+        tmp = tmp_path_factory.mktemp("resume")
+        journal = tmp / "sweep.jsonl"
+        uninterrupted = run_sweep(spec, workers=1, checkpoint=journal)
+        lines = journal_lines(journal)
+        assert len(lines) == 5
+
+        with open(journal, "w", encoding="utf-8", newline="") as fh:
+            fh.writelines(lines[: 1 + k])
+        resumed = run_sweep(spec, workers=1, shards=shards, checkpoint=journal)
+        assert resumed.to_csv() == uninterrupted.to_csv()
+        assert resumed.render() == uninterrupted.render()
+        a, b = tmp / "a.jsonl", tmp / "b.jsonl"
+        resumed.save(a, fingerprint=spec.fingerprint())
+        uninterrupted.save(b, fingerprint=spec.fingerprint())
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_resume_skips_completed_patterns(self, tmp_path, monkeypatch):
+        spec = small_spec(trials=2, params={"pairs": 6})
+        journal = tmp_path / "sweep.jsonl"
+        expect = run_sweep(spec, workers=1, checkpoint=journal)
+        lines = journal_lines(journal)
+        with open(journal, "w", encoding="utf-8", newline="") as fh:
+            fh.writelines(lines[:3])  # header + records 0..1 complete
+
+        evaluated = []
+        real_evaluator = EXPERIMENTS[spec.experiment]
+
+        def counting(spec_, task):
+            evaluated.append(task.index)
+            from repro.experiments.exp_success_rate import evaluate_pattern
+
+            return evaluate_pattern(spec_, task)
+
+        monkeypatch.setitem(
+            EXPERIMENTS, spec.experiment, (counting, real_evaluator[1])
+        )
+        resumed = run_sweep(spec, workers=1, checkpoint=journal)
+        assert resumed.to_csv() == expect.to_csv()
+        done = {json.loads(ln)["_index"] for ln in lines[1:3]}
+        assert sorted(evaluated) == [
+            i for i in range(4) if i not in done
+        ]
+        # Complete journal: nothing evaluates at all.
+        evaluated.clear()
+        again = run_sweep(spec, workers=1, checkpoint=journal)
+        assert again.to_csv() == expect.to_csv()
+        assert evaluated == []
+
+    def test_partial_final_line_is_dropped_and_repaired(self, tmp_path):
+        spec = small_spec(trials=2, params={"pairs": 6})
+        journal = tmp_path / "sweep.jsonl"
+        expect = run_sweep(spec, workers=1, checkpoint=journal)
+        lines = journal_lines(journal)
+        with open(journal, "w", encoding="utf-8", newline="") as fh:
+            fh.writelines(lines[:2])
+            fh.write(lines[2][: len(lines[2]) // 2])  # killed mid-append
+        resumed = run_sweep(spec, workers=2, checkpoint=journal)
+        assert resumed.to_csv() == expect.to_csv()
+        # The journal was repaired: all lines complete again.
+        assert all(ln.endswith("\n") for ln in journal_lines(journal))
+
+    def test_refuses_to_overwrite_a_foreign_file(self, tmp_path):
+        # A mistyped --checkpoint pointing at an unrelated file (here a
+        # newline-less one-liner) must not be clobbered.
+        spec = small_spec()
+        target = tmp_path / "notes.txt"
+        target.write_text("precious data, no trailing newline")
+        with pytest.raises(TablePersistenceError, match="refusing to overwrite"):
+            run_sweep(spec, workers=1, checkpoint=target)
+        assert target.read_text() == "precious data, no trailing newline"
+
+    def test_partial_header_restarts_fresh(self, tmp_path):
+        # Killed while the very first line was being written: the stub
+        # (no newline yet) is replaced by a fresh journal, not rejected.
+        from repro.parallel.sharding import _checkpoint_header
+
+        spec = small_spec(trials=2, params={"pairs": 6})
+        expect = run_sweep(spec, workers=1)
+        journal = tmp_path / "sweep.jsonl"
+        journal.write_text(json_line(_checkpoint_header(spec))[:22])
+        restarted = run_sweep(spec, workers=1, checkpoint=journal)
+        assert restarted.to_csv() == expect.to_csv()
+        lines = journal_lines(journal)
+        assert len(lines) == 5 and all(ln.endswith("\n") for ln in lines)
+
+    def test_fingerprint_mismatch_is_rejected(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(small_spec(seed=1), workers=1, checkpoint=journal)
+        with pytest.raises(FingerprintMismatchError, match="different sweep"):
+            run_sweep(small_spec(seed=2), workers=1, checkpoint=journal)
+        # Same seed, different workload param: also a different sweep.
+        with pytest.raises(FingerprintMismatchError):
+            run_sweep(
+                small_spec(seed=1, params={"pairs": 99}),
+                workers=1,
+                checkpoint=journal,
+            )
+
+    def test_unknown_schema_version_is_rejected(self, tmp_path):
+        spec = small_spec()
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(spec, workers=1, checkpoint=journal)
+        lines = journal_lines(journal)
+        header = json.loads(lines[0])
+        header["schema"] = CHECKPOINT_SCHEMA + 1
+        with open(journal, "w", encoding="utf-8", newline="") as fh:
+            fh.write(json_line(header) + "\n")
+            fh.writelines(lines[1:])
+        with pytest.raises(SchemaVersionError, match="schema version"):
+            run_sweep(spec, workers=1, checkpoint=journal)
+        with pytest.raises(SchemaVersionError):
+            load_checkpoint(journal, spec)
+
+    def test_generator_seed_cannot_checkpoint(self, tmp_path):
+        spec = small_spec(seed=np.random.default_rng(3))
+        with pytest.raises(TypeError, match="replayable seed"):
+            run_sweep(spec, workers=1, checkpoint=tmp_path / "x.jsonl")
+
+    def test_seed_sequence_fingerprint_is_stable(self):
+        a = small_spec(seed=np.random.SeedSequence(42))
+        b = small_spec(seed=np.random.SeedSequence(42))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != small_spec(seed=42).fingerprint()
+
+
+class TestFailureSurfacing:
+    def test_poisoned_pattern_reports_which_pattern_died(self, monkeypatch):
+        def poison(spec, task):
+            if task.index == 2:
+                raise ValueError("boom in pattern fn")
+            return {"x": 1}
+
+        def reduce_(spec, records):
+            table = ResultTable("poison")
+            for record in records:
+                table.add(x=record["x"])
+            return table
+
+        monkeypatch.setitem(EXPERIMENTS, "poisoned", (poison, reduce_))
+        spec = SweepSpec("poisoned", (4, 4), (1, 2), trials=2, seed=77)
+        with pytest.raises(PatternTaskError) as err:
+            run_sweep(spec, workers=1)
+        message = str(err.value)
+        # Task 2 = fault count 2, trial 0: index, grid cell, and seed all
+        # named, so the failing pattern is replayable from the message.
+        assert "pattern task 2" in message
+        assert "faults=2" in message and "trial=0" in message
+        assert "entropy=77" in message and "spawn_key=" in message
+        assert "ValueError: boom in pattern fn" in message
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_healthy_patterns_before_poison_are_journalled(
+        self, monkeypatch, tmp_path
+    ):
+        def poison(spec, task):
+            if task.index == 3:
+                raise ValueError("boom")
+            return {"x": task.index}
+
+        def reduce_(spec, records):
+            table = ResultTable("poison")
+            for record in records:
+                table.add(x=record["x"])
+            return table
+
+        monkeypatch.setitem(EXPERIMENTS, "poisoned", (poison, reduce_))
+        spec = SweepSpec("poisoned", (4, 4), (1, 2), trials=2, seed=5)
+        journal = tmp_path / "sweep.jsonl"
+        with pytest.raises(PatternTaskError):
+            run_sweep(spec, workers=1, checkpoint=journal)
+        # The crash kept the completed prefix: resume after "fixing" the
+        # bug only needs the remaining pattern.
+        done = load_checkpoint(journal, spec)
+        assert sorted(done) == [0, 1, 2]
+
 
 class TestCLI:
     def test_main_renders_table(self, capsys):
@@ -194,3 +429,60 @@ class TestCLI:
         )
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("faults,")
+
+    def test_main_accepts_paper_alias_checkpoint_and_save(self, capsys, tmp_path):
+        from repro.parallel import sharding
+
+        journal = tmp_path / "t3.jsonl"
+        saved = tmp_path / "t3.table.jsonl"
+        argv = [
+            "t3",
+            "--shape", "5", "5",
+            "--fault-counts", "2",
+            "--trials", "2",
+            "--checkpoint", str(journal),
+            "--save", str(saved),
+            "--csv",
+        ]
+        sharding.main(argv)
+        first = capsys.readouterr().out
+        assert first.splitlines()[0].startswith("faults,")
+        assert journal.exists() and saved.exists()
+        # Re-running resumes from the complete journal: same output, and
+        # the saved table loads back with a matching fingerprint.
+        sharding.main(argv)
+        assert capsys.readouterr().out == first
+        loaded = ResultTable.load(saved)
+        assert "per_node" in loaded.columns
+        assert loaded.to_csv() + "\n" == first  # print() added the newline
+
+    def test_main_requires_an_experiment(self, capsys):
+        from repro.parallel import sharding
+
+        with pytest.raises(SystemExit):
+            sharding.main(["--shape", "5", "5"])
+        assert "experiment" in capsys.readouterr().err
+
+    def test_cli_and_python_api_share_fingerprints(self, tmp_path):
+        # A checkpoint begun from the CLI must be resumable through the
+        # Python wrapper (same spec -> same fingerprint) for T1's
+        # default params.
+        from repro.experiments.exp_region_overhead import run_region_overhead
+        from repro.parallel import sharding
+
+        journal = tmp_path / "t1.jsonl"
+        sharding.main(
+            [
+                "t1",
+                "--shape", "6", "6",
+                "--fault-counts", "2",
+                "--trials", "2",
+                "--seed", "3",
+                "--checkpoint", str(journal),
+            ]
+        )
+        plain = run_region_overhead((6, 6), [2], trials=2, seed=3)
+        resumed = run_region_overhead(
+            (6, 6), [2], trials=2, seed=3, checkpoint=journal
+        )
+        assert resumed.to_csv() == plain.to_csv()
