@@ -1,0 +1,71 @@
+"""CI gate: the T6 churn sweep is shard/worker invariant.
+
+Runs a small fault-churn sweep (repro.experiments.exp_churn) serially,
+then re-runs it across worker processes and several shard counts — the
+merged tables must match byte-for-byte (rendered text and CSV), which
+pins down that the online subsystem's whole event/routing history per
+pattern is a pure function of the pattern's positional seed.
+
+Run (exits non-zero on any mismatch)::
+
+    PYTHONPATH=src python benchmarks/bench_churn_smoke.py \
+        --shape 8 8 8 --fault-counts 6 20 --trials 4 --pairs 40 \
+        --epochs 4 --workers 2 --check-shards 1 2 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.exp_churn import run_churn
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shape", type=int, nargs="+", default=[8, 8, 8])
+    parser.add_argument("--fault-counts", type=int, nargs="+", default=[6, 20])
+    parser.add_argument("--trials", type=int, default=4)
+    parser.add_argument("--pairs", type=int, default=40)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--churn", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--check-shards", type=int, nargs="+", default=[1, 2, 4])
+    args = parser.parse_args()
+
+    def run(workers: int, shards: int | None):
+        return run_churn(
+            tuple(args.shape),
+            list(args.fault_counts),
+            pairs=args.pairs,
+            epochs=args.epochs,
+            churn=args.churn,
+            trials=args.trials,
+            seed=args.seed,
+            workers=workers,
+            shards=shards,
+        )
+
+    serial = run(workers=1, shards=1)
+    print(serial.render())
+    for shards in args.check_shards:
+        table = run(workers=args.workers, shards=shards)
+        if table.render() != serial.render() or table.to_csv() != serial.to_csv():
+            fail(
+                f"churn sweep diverges at workers={args.workers}, "
+                f"shards={shards}"
+            )
+    print(
+        f"PASS: churn sweep byte-identical for workers={args.workers}, "
+        f"shards in {args.check_shards}"
+    )
+
+
+if __name__ == "__main__":
+    main()

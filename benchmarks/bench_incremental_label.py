@@ -1,0 +1,132 @@
+"""CI gate: incremental relabelling beats full recompute on small deltas.
+
+For single-fault inject deltas on a 32^3 mesh (the acceptance scenario),
+:class:`repro.online.DynamicFaultModel` must relabel at least
+``--min-speedup`` times faster than a from-scratch ``label_grid`` of
+the same mask — and byte-identically, which is re-verified here for
+every delta (inject *and* the repair that rolls it back).
+
+The incremental path wins two ways: the warm-started fixed point only
+sweeps the event's dirty bounding box, and the frontier pre-check skips
+the sweep entirely when no neighbor's rule verdict flipped (the common
+case for sparse faults).  Repairs are reported for information; the
+gate is on inject deltas.
+
+Run (exits non-zero below the speedup floor or on any label mismatch)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_label.py \
+        --shape 32 32 32 --faults 60 --deltas 20 --min-speedup 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.labelling import label_grid
+from repro.online import DynamicFaultModel
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shape", type=int, nargs="+", default=[32, 32, 32])
+    parser.add_argument("--faults", type=int, default=60)
+    parser.add_argument("--deltas", type=int, default=20)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-k timing per delta (both sides), damping CI noise",
+    )
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    args = parser.parse_args()
+
+    shape = tuple(args.shape)
+    rng = np.random.default_rng(args.seed)
+    size = int(np.prod(shape))
+    mask = np.zeros(shape, dtype=bool)
+    mask.flat[rng.choice(size, size=args.faults, replace=False)] = True
+
+    model = DynamicFaultModel(mask)
+    baseline = model.labelled_for()  # build the identity class once
+    want0 = label_grid(model.fault_mask)
+    if not np.array_equal(want0.status, baseline.status):
+        fail("initial labels diverge from label_grid")
+
+    def best_of(op, undo):
+        """Min wall time of ``op`` over the repeat budget; ends with
+        ``op`` applied (each repeat rolls back via ``undo`` first)."""
+        best = float("inf")
+        for r in range(args.repeats):
+            if r:
+                undo()
+            t0 = time.perf_counter()
+            op()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    inject_s = 0.0
+    repair_s = 0.0
+    full_s = 0.0
+    for _ in range(args.deltas):
+        healthy = np.argwhere(~model.fault_mask)
+        cell = tuple(int(v) for v in healthy[rng.integers(len(healthy))])
+
+        inject_s += best_of(
+            lambda: model.inject([cell]), lambda: model.repair([cell])
+        )
+        want = [None]
+
+        def relabel():
+            want[0] = label_grid(model.fault_mask)
+
+        full_s += best_of(relabel, lambda: None)
+        if not np.array_equal(want[0].status, model.labelled_for().status):
+            fail(f"inject delta at {cell}: labels diverge from label_grid")
+
+        repair_s += best_of(
+            lambda: model.repair([cell]), lambda: model.inject([cell])
+        )
+        if not np.array_equal(want0.status, model.labelled_for().status):
+            fail(f"repair delta at {cell}: labels diverge from baseline")
+
+    speedup = full_s / inject_s if inject_s else float("inf")
+    repair_speedup = full_s / repair_s if repair_s else float("inf")
+    dims = "x".join(map(str, shape))
+    print(
+        f"{dims} mesh, {args.faults} base faults, {args.deltas} single-fault "
+        f"deltas (stats: {model.stats})"
+    )
+    print(
+        f"  full label_grid     {full_s * 1e3:8.2f} ms total "
+        f"({full_s / args.deltas * 1e6:8.1f} us/delta)"
+    )
+    print(
+        f"  incremental inject  {inject_s * 1e3:8.2f} ms total "
+        f"({inject_s / args.deltas * 1e6:8.1f} us/delta)  {speedup:6.1f}x"
+    )
+    print(
+        f"  incremental repair  {repair_s * 1e3:8.2f} ms total "
+        f"({repair_s / args.deltas * 1e6:8.1f} us/delta)  "
+        f"{repair_speedup:6.1f}x"
+    )
+    if speedup < args.min_speedup:
+        fail(
+            f"incremental inject speedup {speedup:.2f}x is below the "
+            f"{args.min_speedup:.2f}x floor"
+        )
+    print(
+        f"PASS: byte-identical labels across {args.deltas} inject+repair "
+        f"deltas; inject speedup {speedup:.1f}x >= {args.min_speedup:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

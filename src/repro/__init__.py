@@ -23,9 +23,11 @@ Layers:
 * ``repro.baselines`` — rectangular faulty blocks, e-cube, greedy;
 * ``repro.simkit`` / ``repro.distributed`` — the message-passing
   realization of the whole pipeline on a discrete-event network;
+* ``repro.online`` — dynamic-fault serving: incremental labelling and
+  epoch-versioned routing while faults arrive and heal;
 * ``repro.parallel`` — multi-pattern sharding of experiment sweeps
   across processes (``SweepSpec`` / ``run_sweep``);
-* ``repro.experiments`` — the evaluation (tables T1–T5, figures).
+* ``repro.experiments`` — the evaluation (tables T1–T6, figures).
 """
 
 from repro.mesh import Box, Direction, FaultSet, Mesh, Mesh2D, Mesh3D, Orientation
@@ -64,6 +66,7 @@ from repro.routing.policies import (
 from repro.baselines import ecube_path, ecube_succeeds, greedy_route, rfb_blocks, rfb_unsafe
 from repro.simkit import MeshNetwork, Simulator
 from repro.distributed import DistributedMCCPipeline
+from repro.online import DynamicFaultModel, FaultEvent, OnlineRoutingService
 from repro.parallel import SweepSpec, run_sweep
 
 __version__ = "1.0.0"
@@ -115,6 +118,9 @@ __all__ = [
     "MeshNetwork",
     "Simulator",
     "DistributedMCCPipeline",
+    "DynamicFaultModel",
+    "FaultEvent",
+    "OnlineRoutingService",
     "SweepSpec",
     "run_sweep",
     "__version__",

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.components import MCCSet, extract_mccs
 from repro.core.labelling import LabelledGrid, label_grid
+from repro.core.model_cache import cached_class_assets
 from repro.core.walls import Wall, build_walls
 from repro.mesh.orientation import Orientation
 
@@ -132,7 +133,11 @@ class ConditionEvaluator:
 
     Monte-Carlo experiments evaluate many (source, dest) pairs against a
     single fault pattern; this class does the per-class heavy lifting
-    once (there are 4 classes in 2-D, 8 in 3-D).
+    once (there are 4 classes in 2-D, 8 in 3-D).  The per-class assets
+    additionally come from the process-wide content-addressed cache
+    (:mod:`repro.core.model_cache`), so an evaluator, a router, and the
+    detection pass labelling the same pattern share one fixed point per
+    class.
     """
 
     def __init__(self, fault_mask: np.ndarray):
@@ -144,10 +149,11 @@ class ConditionEvaluator:
     ) -> tuple[LabelledGrid, MCCSet, list[Wall]]:
         key = orientation.signs
         if key not in self._cache:
-            labelled = label_grid(self.fault_mask, orientation)
-            mccs = extract_mccs(labelled)
-            walls = build_walls(mccs)
-            self._cache[key] = (labelled, mccs, walls)
+            # Digest taken at labelling time: the global entry always
+            # matches the content that was actually labelled.
+            self._cache[key] = cached_class_assets(
+                self.fault_mask, orientation
+            )
         return self._cache[key]
 
     def exists(self, source: Sequence[int], dest: Sequence[int]) -> bool:

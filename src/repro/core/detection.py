@@ -42,9 +42,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.labelling import label_grid
+from repro.core.model_cache import cached_labelled
 from repro.mesh.orientation import Orientation
-from repro.routing.oracle import minimal_path_exists
+from repro.routing.oracle import (
+    group_jobs_by_class,
+    minimal_path_exists,
+    probe_reverse_reachable,
+)
 
 
 @dataclass
@@ -224,7 +228,7 @@ def detection_feasible(
         return detection_feasible(sub_mask, sub_source, sub_dest)
 
     orientation = Orientation.for_pair(source, dest, fault_mask.shape)
-    labelled = label_grid(fault_mask, orientation)
+    labelled = cached_labelled(fault_mask, orientation)
     cs = orientation.map_coord(source)
     cd = orientation.map_coord(dest)
     if labelled.unsafe_mask[cs] or labelled.unsafe_mask[cd]:
@@ -237,3 +241,58 @@ def detection_feasible(
         return minimal_path_exists(orientation.to_canonical(~fault_mask), cs, cd)
     report = detect_canonical(labelled.unsafe_mask, cs, cd)
     return report.feasible
+
+
+def detection_feasible_batch(
+    fault_mask: np.ndarray,
+    pairs: Sequence[Sequence[Sequence[int]]],
+) -> np.ndarray:
+    """Detection verdicts for many pairs over one fault pattern.
+
+    Pair-for-pair identical to :func:`detection_feasible`
+    (property-tested), but the per-pair work is batched: one cached
+    labelling per direction class, and the exact-reachability verdicts
+    — both the labelled-safe rule behind :func:`detect_canonical` and
+    the unsafe-endpoint ground-truth fallback — run through the
+    destination-grouped flood kernel
+    (:func:`repro.routing.oracle.probe_reverse_reachable`), one batched
+    DP per destination chunk instead of one flood per pair.  The
+    per-message walk trails of :func:`detect_canonical` are not
+    materialized (they never feed the verdict); degenerate pairs (any
+    zero-offset axis) and meshes without defined walks fall back to the
+    per-pair path, reductions and all.
+    """
+    fault_mask = np.asarray(fault_mask, dtype=bool)
+    ndim = fault_mask.ndim
+    norm = [
+        (
+            tuple(int(c) for c in source),
+            tuple(int(c) for c in dest),
+        )
+        for source, dest in pairs
+    ]
+    out = np.zeros(len(norm), dtype=bool)
+    eligible: list[int] = []
+    for i, (source, dest) in enumerate(norm):
+        if fault_mask[source] or fault_mask[dest]:
+            raise ValueError("detection requires safe source and destination")
+        live = sum(1 for a in range(ndim) if source[a] != dest[a])
+        if live < ndim or ndim not in (2, 3):
+            out[i] = detection_feasible(fault_mask, source, dest)
+        else:
+            eligible.append(i)
+    sub = [norm[i] for i in eligible]
+    for orientation, jobs in group_jobs_by_class(sub, fault_mask.shape):
+        labelled = cached_labelled(fault_mask, orientation)
+        unsafe = labelled.unsafe_mask
+        open_masks = {
+            "labelled": labelled.safe_mask,
+            "exact": orientation.to_canonical(~fault_mask),
+        }
+        split: dict[str, list] = {which: [] for which in open_masks}
+        for j, cs, cd in jobs:
+            which = "exact" if unsafe[cs] or unsafe[cd] else "labelled"
+            split[which].append((eligible[j], cs, cd))
+        for which, open_mask in open_masks.items():
+            probe_reverse_reachable(open_mask, split[which], out)
+    return out

@@ -1,0 +1,107 @@
+"""Cross-pattern reuse of canonical-class labellings (content-addressed).
+
+Sweeps and ablations revisit fault patterns: the A1/A4 policy ablations
+score the same masks under several variants, and a single T5 pattern is
+labelled by three consumers (``ConditionEvaluator``, the adaptive
+router, and the detection pass) — each previously running its own
+fixed point per direction class.  This module keys the expensive
+per-class derivations by **fault-mask content**
+(:func:`repro.util.caching.mask_digest`), so any consumer that meets a
+(pattern, class, model-kind) combination already labelled anywhere in
+the process skips the work entirely.
+
+Two granularities share one bounded LRU:
+
+* :func:`cached_labelled` — just the :class:`LabelledGrid` fixed point;
+* :func:`cached_class_assets` — labelled grid + extracted MCCs + walls
+  (what the engine and the condition evaluator consume).
+
+Cached arrays are frozen (``writeable=False``): every consumer treats
+model state as immutable, and the flag turns an accidental in-place
+mutation — which would silently corrupt *other* patterns' results —
+into an immediate error.  The online dynamic-fault subsystem
+(:mod:`repro.online`) deliberately bypasses this cache: it mutates its
+label arrays in place per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.components import MCCSet, extract_mccs
+from repro.core.labelling import LabelledGrid, label_grid
+from repro.core.walls import Wall, build_walls
+from repro.mesh.orientation import Orientation
+from repro.util.caching import LRUCache, mask_digest
+
+#: Bound on cached (pattern, class, kind) entries.  An entry is one int8
+#: status grid plus its MCC/wall structures — 64 keeps the ablations'
+#: whole revisit window resident without pinning unbounded sweeps.
+DEFAULT_LABELLING_CACHE_SIZE = 64
+
+LABELLING_CACHE: LRUCache[tuple, tuple] = LRUCache(DEFAULT_LABELLING_CACHE_SIZE)
+
+
+def _freeze(labelled: LabelledGrid) -> LabelledGrid:
+    labelled.status.setflags(write=False)
+    return labelled
+
+
+def cached_labelled(
+    fault_mask: np.ndarray,
+    orientation: Orientation,
+    labeller: Callable[..., LabelledGrid] = label_grid,
+    kind: str = "mcc",
+    digest: bytes | None = None,
+) -> LabelledGrid:
+    """The class labelling for a mask, reused across patterns by content.
+
+    ``digest`` lets callers that label many classes of one mask hash it
+    once; omitted, it is computed here.  ``kind`` namespaces different
+    labellers ("mcc", "rfb", ...) so their entries never collide.
+    """
+    if digest is None:
+        digest = mask_digest(fault_mask)
+    key = (digest, orientation.signs, kind, "labelled")
+    hit = LABELLING_CACHE.get(key)
+    if hit is not None:
+        return hit[0]
+    labelled = _freeze(labeller(fault_mask, orientation))
+    LABELLING_CACHE.put(key, (labelled,))
+    return labelled
+
+
+def cached_class_assets(
+    fault_mask: np.ndarray,
+    orientation: Orientation,
+    labeller: Callable[..., LabelledGrid] = label_grid,
+    kind: str = "mcc",
+    digest: bytes | None = None,
+) -> tuple[LabelledGrid, MCCSet, list[Wall]]:
+    """Labelled grid + MCCs + walls for one (pattern, class, kind).
+
+    The heavy trio the router and condition evaluator both need; the
+    labelled grid is shared with :func:`cached_labelled` entries via the
+    same digest, so mixed consumers still label once.
+    """
+    if digest is None:
+        digest = mask_digest(fault_mask)
+    key = (digest, orientation.signs, kind, "assets")
+    hit = LABELLING_CACHE.get(key)
+    if hit is not None:
+        return hit
+    labelled = cached_labelled(
+        fault_mask, orientation, labeller=labeller, kind=kind, digest=digest
+    )
+    mccs = extract_mccs(labelled)
+    walls = build_walls(mccs)
+    assets = (labelled, mccs, walls)
+    LABELLING_CACHE.put(key, assets)
+    return assets
+
+
+def clear_labelling_cache() -> None:
+    """Drop every cached labelling (tests, memory pressure)."""
+    LABELLING_CACHE.clear()

@@ -1,4 +1,4 @@
-"""The paper's evaluation: workloads, harness, experiments T1–T5, figures.
+"""The paper's evaluation: workloads, harness, experiments T1–T6, figures.
 
 Each experiment module exposes a ``run_*`` function returning a
 :class:`repro.util.records.ResultTable`; the benchmark harness under
@@ -17,6 +17,7 @@ from repro.experiments.exp_protocol_overhead import run_protocol_overhead
 from repro.experiments.exp_des_routing import run_des_routing
 from repro.experiments.exp_fidelity import run_fidelity
 from repro.experiments.exp_ablation import run_mesh4d_extension, run_rfb_variants
+from repro.experiments.exp_churn import run_churn
 
 __all__ = [
     "random_fault_mask",
@@ -27,6 +28,7 @@ __all__ = [
     "run_protocol_overhead",
     "run_des_routing",
     "run_fidelity",
+    "run_churn",
     "run_rfb_variants",
     "run_mesh4d_extension",
 ]

@@ -1,0 +1,170 @@
+"""Experiment T6: routing under fault churn (online dynamic-fault model).
+
+The paper evaluates static fault patterns; T6 measures the regime the
+:mod:`repro.online` subsystem exists for — faults arriving and healing
+*while traffic flows* (the dynamic-fault operating mode of the 3D-NoC
+fault-management literature).  Each fault pattern seeds one
+:class:`OnlineRoutingService`; every epoch then
+
+1. samples a batch of pairs among currently healthy nodes and queues
+   them with :meth:`OnlineRoutingService.submit` (traffic "in flight"),
+2. applies one churn event — alternating injection and repair of
+   ``churn`` cells — which flushes the queued batch at the epoch it was
+   submitted under and relabels incrementally,
+3. scores delivery plus the event's relabel cost (dirty cells swept,
+   full-recompute fallbacks) and the reach-cache retention of the
+   scoped invalidation.
+
+Each pattern (initial mask + its whole churn history) is one sharded
+:class:`repro.parallel.sharding.PatternTask` — every draw comes from
+the task's private stream, so ``run_churn(..., workers=N)`` is
+seed-stable for any worker/shard count, and ``checkpoint=`` makes long
+churn sweeps resumable like every other tier.
+
+Command line (flags shared with the other sweeps)::
+
+    PYTHONPATH=src python -m repro.parallel t6 --shape 12 12 12 \
+        --fault-counts 20 60 --trials 4 --pairs 100 --epochs 6 \
+        --churn 2 --workers 4
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.workloads import random_fault_mask, sample_safe_pair
+from repro.online import OnlineRoutingService
+from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
+from repro.util.records import ResultTable
+from repro.util.rng import SeedLike
+
+_COUNTERS = (
+    "pairs",
+    "delivered",
+    "infeasible",
+    "stuck",
+    "events",
+    "dirty_cells",
+    "full_recomputes",
+    "label_delta",
+    "evicted",
+    "retained",
+)
+
+
+def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
+    """Run one pattern's churn history; delivery + relabel-cost counters."""
+    rng = task.rng()
+    mask = random_fault_mask(spec.shape, task.count, rng=rng)
+    online = OnlineRoutingService(mask, mode="mcc")
+    pairs = int(spec.param("pairs", 60))
+    epochs = int(spec.param("epochs", 6))
+    churn = int(spec.param("churn", 2))
+    record = {name: 0 for name in _COUNTERS}
+    for epoch in range(epochs):
+        submitted_at = online.epoch
+        for _ in range(pairs):
+            pair = sample_safe_pair(~online.fault_mask, rng=rng, min_distance=2)
+            if pair is not None:
+                online.submit(*pair)
+        current = online.fault_mask
+        if epoch % 2 == 0:
+            candidates = np.argwhere(~current)
+        else:
+            candidates = np.argwhere(current)
+        k = min(churn, len(candidates))
+        if k > 0:
+            picks = rng.choice(len(candidates), size=k, replace=False)
+            cells = [tuple(int(v) for v in candidates[i]) for i in picks]
+            event = (
+                online.inject(cells) if epoch % 2 == 0 else online.repair(cells)
+            )
+            record["events"] += 1
+            record["dirty_cells"] += event.dirty_cells
+            record["full_recomputes"] += event.full_recomputes
+            record["label_delta"] += abs(event.label_delta)
+        else:
+            online.flush()
+        for result in online.take_completed().values():
+            # Queued queries are answered at their submission epoch.
+            assert result.epoch == submitted_at
+            record["pairs"] += 1
+            if result.delivered:
+                record["delivered"] += 1
+            elif result.feasible is False:
+                record["infeasible"] += 1
+            else:
+                record["stuck"] += 1
+    record["evicted"] = int(online.router.evicted)
+    record["retained"] = int(online.router.retained)
+    return record
+
+
+def reduce_records(
+    spec: SweepSpec, records: Sequence[Mapping[str, Any]]
+) -> ResultTable:
+    """Merge per-pattern churn counters into the T6 table."""
+    dims = f"{len(spec.shape)}-D {'x'.join(map(str, spec.shape))}"
+    table = ResultTable(
+        title=(
+            f"T6 routing under churn — {dims} mesh, "
+            f"{spec.param('epochs', 6)} epochs x "
+            f"{spec.param('pairs', 60)} pairs, "
+            f"churn {spec.param('churn', 2)}"
+        )
+    )
+    for count_index, count in enumerate(spec.fault_counts):
+        rows = [r for r in records if r["_count_index"] == count_index]
+        sums = {name: sum(r[name] for r in rows) for name in _COUNTERS}
+        total = sums["pairs"]
+        events = sums["events"]
+        probes = sums["evicted"] + sums["retained"]
+        table.add(
+            faults=count,
+            pairs=int(total),
+            delivered=sums["delivered"] / total if total else 0.0,
+            infeasible=sums["infeasible"] / total if total else 0.0,
+            stuck=int(sums["stuck"]),
+            relabel_cells_per_event=(
+                sums["dirty_cells"] / events if events else 0.0
+            ),
+            label_delta_per_event=(
+                sums["label_delta"] / events if events else 0.0
+            ),
+            full_recomputes=int(sums["full_recomputes"]),
+            cache_retained=sums["retained"] / probes if probes else 1.0,
+        )
+    return table
+
+
+def run_churn(
+    shape: tuple[int, ...],
+    fault_counts: list[int],
+    pairs: int = 60,
+    epochs: int = 6,
+    churn: int = 2,
+    trials: int = 4,
+    seed: SeedLike = 2005,
+    workers: int = 1,
+    shards: int | None = None,
+    checkpoint: str | None = None,
+) -> ResultTable:
+    """Sweep fault counts; delivery and relabel cost under churn.
+
+    ``pairs`` queries queue per epoch, ``epochs`` alternating
+    inject/repair events of ``churn`` cells churn each pattern.
+    ``workers`` shards the patterns across processes (1 = in-process
+    serial fallback); results are identical for any value.
+    ``checkpoint`` journals per-pattern records for resumable runs.
+    """
+    spec = SweepSpec(
+        experiment="churn",
+        shape=tuple(shape),
+        fault_counts=tuple(fault_counts),
+        trials=trials,
+        seed=seed,
+        params={"pairs": pairs, "epochs": epochs, "churn": churn},
+    )
+    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)

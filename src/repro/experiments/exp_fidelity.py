@@ -32,27 +32,58 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.conditions import ConditionEvaluator
-from repro.core.detection import detection_feasible
+from repro.core.detection import detection_feasible_batch
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair
 from repro.mesh.orientation import Orientation
 from repro.parallel.sharding import PatternTask, SweepSpec, legacy_rng, run_sweep
 from repro.routing.engine import AdaptiveRouter, explore_all_choices
-from repro.routing.oracle import minimal_path_exists, reverse_reachable
+from repro.routing.oracle import group_jobs_by_class, probe_reverse_reachable
 from repro.util.records import ResultTable
 from repro.util.rng import SeedLike
 
 
+def _batched_reach(open_for_class, pairs, shape, keep: bool = False):
+    """Monotone-reachability verdicts for many mesh-frame pairs.
+
+    Groups the pairs by direction class and runs each class through the
+    destination-grouped flood kernel
+    (:func:`repro.routing.oracle.probe_reverse_reachable`) — the
+    batched form of the per-pair ``minimal_path_exists`` floods the
+    serial evaluator used.  ``open_for_class(orientation)`` supplies
+    the canonical open mask (ground truth: non-faulty; condition form:
+    labelled-safe).  With ``keep=True`` the per-destination reach masks
+    are returned too, keyed ``(signs, dest)``, for reuse as oracle
+    exclusion records.
+    """
+    verdicts = np.zeros(len(pairs), dtype=bool)
+    kept: dict[tuple, np.ndarray] = {}
+    for orientation, jobs in group_jobs_by_class(pairs, shape):
+        class_kept: dict[tuple, np.ndarray] | None = {} if keep else None
+        probe_reverse_reachable(
+            open_for_class(orientation), jobs, verdicts, keep=class_kept
+        )
+        if keep:
+            for dest, reach in class_kept.items():
+                kept[(orientation.signs, dest)] = reach
+    return verdicts, kept
+
+
 def _candidate_sets_match(
-    router: AdaptiveRouter, source: tuple, dest: tuple
+    router: AdaptiveRouter, source: tuple, dest: tuple, blocked: np.ndarray
 ) -> bool:
-    """MCC candidate sets == oracle candidate sets on reachable cells."""
+    """MCC candidate sets == oracle candidate sets on reachable cells.
+
+    ``blocked`` is the precomputed oracle exclusion record for the
+    pair's (class, destination) — shared across pairs by the batched
+    reach pass instead of re-flooded per pair.
+    """
     orientation = Orientation.for_pair(source, dest, router.fault_mask.shape)
     s = orientation.map_coord(source)
     d = orientation.map_coord(dest)
     model = router._model_for(orientation)
-    open_mask = ~model.labelled.fault_mask
-    blocked = ~reverse_reachable(open_mask, d)
     stack, seen = [s], {s}
     while stack:
         pos = stack.pop()
@@ -80,7 +111,17 @@ def _candidate_sets_match(
 
 
 def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
-    """Model-vs-oracle agreement counters for one fault pattern."""
+    """Model-vs-oracle agreement counters for one fault pattern.
+
+    The pair workload is drawn exactly as the retired serial loop drew
+    it (RNG parity), then scored in batches: ground truth and the
+    condition form each run one batched reverse flood per destination
+    group (:func:`_batched_reach`), detection goes through
+    :func:`detection_feasible_batch`, and the oracle reach masks are
+    reused as the exclusion records of the candidate-set comparison —
+    no per-pair floods anywhere.  The counters are byte-identical to
+    the per-pair evaluation (pinned in tests/test_serial_parity.py).
+    """
     shape = spec.shape
     pairs = int(spec.param("pairs", 60))
 
@@ -102,27 +143,37 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
         "router_complete": 0,
         "exclusion_exact": 0,
     }
+    batch = []
     for _ in range(pairs):
         pair = sample_safe_pair(~mask, rng=rng, min_distance=2)
         if pair is None or not evaluator.endpoint_safe(*pair):
             continue
-        source, dest = pair
-        record["total"] += 1
+        batch.append(pair)
+    record["total"] = len(batch)
+    if not batch:
+        return record
+    wants, oracle_reach = _batched_reach(
+        lambda o: o.to_canonical(~mask), batch, shape, keep=True
+    )
+    conds, _ = _batched_reach(
+        lambda o: evaluator.for_orientation(o)[0].safe_mask, batch, shape
+    )
+    detects = detection_feasible_batch(mask, batch)
+    record["cond_agree"] = int((conds == wants).sum())
+    record["detect_agree"] = int((detects == wants).sum())
+    for i, (source, dest) in enumerate(batch):
+        if not wants[i]:
+            continue
+        record["feasible"] += 1
+        ok, _ = explore_all_choices(router, source, dest)
+        record["router_complete"] += ok
         orientation = Orientation.for_pair(source, dest, shape)
-        want = minimal_path_exists(
-            orientation.to_canonical(~mask),
-            orientation.map_coord(source),
-            orientation.map_coord(dest),
+        blocked = ~oracle_reach[
+            (orientation.signs, orientation.map_coord(dest))
+        ]
+        record["exclusion_exact"] += _candidate_sets_match(
+            router, source, dest, blocked
         )
-        record["cond_agree"] += evaluator.exists(source, dest) == want
-        record["detect_agree"] += detection_feasible(mask, source, dest) == want
-        if want:
-            record["feasible"] += 1
-            ok, _ = explore_all_choices(router, source, dest)
-            record["router_complete"] += ok
-            record["exclusion_exact"] += _candidate_sets_match(
-                router, source, dest
-            )
     return record
 
 

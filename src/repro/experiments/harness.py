@@ -2,7 +2,7 @@
 
 ``run_all(profile="quick")`` keeps everything laptop-fast (seconds to a
 couple of minutes); ``profile="paper"`` uses the larger meshes and
-trial counts recorded in DESIGN.md's experiment index.  All five tiers
+trial counts recorded in DESIGN.md's experiment index.  All six tiers
 run through :mod:`repro.parallel.sharding`, so ``workers=`` fans every
 table's fault patterns across processes and ``checkpoint_dir=`` makes
 the whole evaluation resumable (one journal per table).
@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 
+from repro.experiments.exp_churn import run_churn
 from repro.experiments.exp_des_routing import run_des_routing
 from repro.experiments.exp_fidelity import run_fidelity
 from repro.experiments.exp_protocol_overhead import run_protocol_overhead
@@ -31,6 +32,7 @@ PROFILES = {
         "des_faults": [2, 6, 12],
         "des_trials": 2,
         "des_queries": 12,
+        "churn_epochs": 4,
     },
     "paper": {
         "shape2d": (32, 32),
@@ -43,6 +45,7 @@ PROFILES = {
         "des_faults": [5, 20, 50, 80],
         "des_trials": 3,
         "des_queries": 60,
+        "churn_epochs": 8,
     },
 }
 
@@ -53,7 +56,7 @@ def run_all(
     workers: int = 1,
     checkpoint_dir: str | None = None,
 ) -> dict[str, ResultTable]:
-    """Regenerate T1–T5 for 2-D and 3-D; returns tables keyed by id.
+    """Regenerate T1–T6 for 2-D and 3-D; returns tables keyed by id.
 
     ``workers`` shards every table's multi-pattern sweep across
     processes via :mod:`repro.parallel.sharding`; tables are identical
@@ -106,6 +109,16 @@ def run_all(
         seed=seed,
         workers=workers,
         checkpoint=ckpt("T5"),
+    )
+    tables["T6"] = run_churn(
+        p["shape3d"],
+        p["faults3d"][:3],
+        pairs=max(20, p["pairs"] // 5),
+        epochs=p["churn_epochs"],
+        trials=max(2, p["trials"] // 4),
+        seed=seed,
+        workers=workers,
+        checkpoint=ckpt("T6"),
     )
     return tables
 

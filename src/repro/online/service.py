@@ -1,0 +1,296 @@
+"""Epoch-counted batched routing over a mutating fault set.
+
+:class:`OnlineRoutingService` is the online counterpart of
+:class:`repro.routing.batch.RoutingService`: same batch decomposition,
+same engine, but the per-class models alias the arrays of a
+:class:`DynamicFaultModel`, so a fault event updates routing state in
+place instead of forcing a cold rebuild.  The service then does three
+things the static stack cannot:
+
+* **scoped invalidation** — a cached per-destination reach mask floods
+  through the open cells of ``[0, dest]`` only, so an event whose
+  dirty cells all sit outside that cone cannot have changed it.  The
+  event's :class:`~repro.online.dynamic_model.ClassDirt` carries the
+  component-wise minimum corner of the changed cells per class, and
+  only cached destinations ``dest >= lo`` are dropped (the cone test
+  is conservative: it may drop a fresh mask, never keep a stale one);
+* **epoch stamping** — every :class:`RouteResult` carries the
+  fault-model epoch its verdict was computed against, so consumers of
+  asynchronous results can tell pre- from post-event answers;
+* **event-bounded batching** — queries arriving between fault events
+  queue via :meth:`submit` and route through the existing
+  ``route_batch`` machinery; ``inject``/``repair`` flush the queue
+  first, so a queued query is always answered at the epoch it was
+  submitted under.
+
+Parity with a cold :class:`RoutingService` built on the current mask is
+property-tested in ``tests/test_online_dynamic.py`` — element-wise
+identical results after arbitrary inject/repair sequences, which is
+exactly the statement that no stale cache entry survives invalidation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.labelling import FAULTY, SAFE, LabelledGrid, label_grid
+from repro.mesh.coords import Coord
+from repro.mesh.orientation import Orientation
+from repro.online.dynamic_model import (
+    DEFAULT_FULL_RECOMPUTE_FRACTION,
+    DynamicFaultModel,
+    FaultEvent,
+)
+from repro.routing.batch import RoutingService
+from repro.routing.engine import (
+    DEFAULT_REACH_CACHE_SIZE,
+    AdaptiveRouter,
+    RouteResult,
+    _ClassModel,
+)
+from repro.routing.policies import Policy
+
+
+class _OnlineRouter(AdaptiveRouter):
+    """An :class:`AdaptiveRouter` whose models track a dynamic fault set.
+
+    In "mcc" mode each class model *aliases* the dynamic class's arrays
+    (the blocked mask of the engine is the + closure mask, its
+    complement the flood-open mask, the labelled grid the composed
+    status), so every fault event updates routing state with no
+    rebuild; only the per-destination caches need scoped eviction.  In
+    "oracle"/"blind" modes the labelled grids are live views of the
+    fault mask itself.  "rfb" has no incremental form and is rejected.
+    """
+
+    def __init__(
+        self,
+        model: DynamicFaultModel,
+        mode: str = "mcc",
+        policy: Policy | None = None,
+        max_hops: int | None = None,
+        reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
+    ):
+        if mode == "rfb":
+            raise ValueError(
+                "rfb block labelling has no incremental form; "
+                "use mode 'mcc', 'oracle' or 'blind'"
+            )
+        # The asarray in the base constructor keeps the model's own
+        # array (no copy for a bool ndarray): router reads stay live.
+        super().__init__(
+            model.fault_mask,
+            mode=mode,
+            policy=policy,
+            max_hops=max_hops,
+            reach_cache_size=reach_cache_size,
+            label_cache=False,  # cached labellings are immutable; ours mutate
+        )
+        assert self.fault_mask is model.fault_mask
+        self.model = model
+        # Live int8 view source for oracle/blind labelled grids.
+        self._status_mesh = model.fault_mask.astype(np.int8) * FAULTY
+        #: Reach/forbidden masks dropped by scoped invalidation, and
+        #: entries that survived an event (cache-efficiency telemetry).
+        self.evicted = 0
+        self.retained = 0
+
+    def _model_for(self, orientation: Orientation) -> _ClassModel:
+        key = orientation.signs
+        if key not in self._models:
+            if self.mode == "mcc":
+                cls = self.model.class_for(orientation)
+                # Alias the dynamic arrays: events mutate them in place
+                # and the engine sees the new model immediately.
+                m = _ClassModel(
+                    cls.labelled,
+                    [],
+                    label_grid,
+                    self.reach_cache_size,
+                    blocked=cls.useless_blocked,
+                    open_mask=cls.open,
+                    unsafe=cls.unsafe,
+                )
+            else:
+                status = orientation.to_canonical(self._status_mesh)
+                labelled = LabelledGrid(status=status, orientation=orientation)
+                m = _ClassModel(labelled, [], label_grid, self.reach_cache_size)
+            self._models[key] = m
+        return self._models[key]
+
+    # -- event application -------------------------------------------------
+
+    def _evict_cone(self, cache, keys, lo: Coord | None) -> None:
+        """Drop cached destinations inside the dirty cone ``dest >= lo``."""
+        for key in keys:
+            dest = key[1] if isinstance(key[0], tuple) else key
+            if lo is not None and all(d >= a for d, a in zip(dest, lo)):
+                cache.pop(key)
+                self.evicted += 1
+            else:
+                self.retained += 1
+
+    def apply_event(self, event: FaultEvent) -> None:
+        """Invalidate exactly the cached state the event can have touched."""
+        for c in event.cells:
+            self._status_mesh[c] = FAULTY if self.fault_mask[c] else SAFE
+        if self.mode == "mcc":
+            for signs, m in self._models.items():
+                dirt = event.classes.get(signs)
+                if dirt is None:
+                    # A model without a dynamic class cannot happen via
+                    # _model_for; drop everything if it somehow does.
+                    self.evicted += len(m._reach)
+                    m._reach.clear()
+                    continue
+                lo = ((0,) * len(self.fault_mask.shape)
+                      if dirt.full else dirt.open_lo)
+                self._evict_cone(m._reach, m._reach.keys(), lo)
+        elif self.mode == "oracle":
+            # Forbidden sets depend on the fault mask alone; the dirty
+            # cone per class starts at the lowest event cell.
+            los: dict[tuple[int, ...], Coord] = {}
+            for key in self._blocked_cache.keys():
+                signs = key[0]
+                if signs not in los:
+                    orientation = Orientation(signs, self.fault_mask.shape)
+                    mapped = [orientation.map_coord(c) for c in event.cells]
+                    los[signs] = tuple(
+                        int(v) for v in np.min(mapped, axis=0)
+                    )
+                self._evict_cone(
+                    self._blocked_cache, [key], los[signs]
+                )
+
+
+class OnlineRoutingService:
+    """Serve routing queries while the fault set mutates underneath.
+
+    The constructor takes the *initial* fault mask; thereafter the fault
+    set changes only through :meth:`inject` / :meth:`repair`, each of
+    which advances the epoch, incrementally relabels
+    (:class:`DynamicFaultModel`), and scopes cache invalidation to the
+    event's dirty region.  All route entry points stamp their results
+    with the epoch they were computed at.
+    """
+
+    def __init__(
+        self,
+        fault_mask: np.ndarray,
+        mode: str = "mcc",
+        policy: Policy | None = None,
+        max_hops: int | None = None,
+        reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
+        replay_policy: bool = False,
+        full_recompute_fraction: float = DEFAULT_FULL_RECOMPUTE_FRACTION,
+    ):
+        self.model = DynamicFaultModel(
+            fault_mask, full_recompute_fraction=full_recompute_fraction
+        )
+        self.router = _OnlineRouter(
+            self.model,
+            mode=mode,
+            policy=policy,
+            max_hops=max_hops,
+            reach_cache_size=reach_cache_size,
+        )
+        self.service = RoutingService(
+            None, replay_policy=replay_policy, router=self.router
+        )
+        self._pending: list[tuple[int, tuple[Coord, Coord]]] = []
+        self._done: dict[int, RouteResult] = {}
+        self._tickets = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self.model.epoch
+
+    @property
+    def mode(self) -> str:
+        return self.router.mode
+
+    @property
+    def fault_mask(self) -> np.ndarray:
+        """The live fault mask (mutate only via inject/repair)."""
+        return self.model.fault_mask
+
+    def labelled(self, orientation: Orientation | None = None) -> LabelledGrid:
+        """The live labelled grid for a direction class (mcc mode)."""
+        return self.service.labelled(orientation)
+
+    # -- routing -----------------------------------------------------------
+
+    def _stamp(self, results: list[RouteResult]) -> list[RouteResult]:
+        epoch = self.model.epoch
+        for r in results:
+            r.epoch = epoch
+        return results
+
+    def route(self, source: Sequence[int], dest: Sequence[int]) -> RouteResult:
+        """Route one pair immediately at the current epoch."""
+        return self._stamp([self.service.route(source, dest)])[0]
+
+    def route_batch(
+        self, pairs: Iterable[Sequence[Sequence[int]]]
+    ) -> list[RouteResult]:
+        """Route a batch immediately at the current epoch."""
+        return self._stamp(self.service.route_batch(pairs))
+
+    def feasible_batch(
+        self, pairs: Iterable[Sequence[Sequence[int]]]
+    ) -> np.ndarray:
+        """Vectorized feasibility verdicts at the current epoch."""
+        return self.service.feasible_batch(pairs)
+
+    # -- event-bounded query batching --------------------------------------
+
+    def submit(self, source: Sequence[int], dest: Sequence[int]) -> int:
+        """Queue one query; it routes at the next flush or fault event.
+
+        Returns a ticket for :meth:`take_completed`.  Queued queries are
+        guaranteed to be answered at the epoch they were submitted
+        under: fault events flush the queue before mutating the model.
+        """
+        ticket = self._tickets
+        self._tickets += 1
+        source = tuple(int(c) for c in source)
+        dest = tuple(int(c) for c in dest)
+        self._pending.append((ticket, (source, dest)))
+        return ticket
+
+    def flush(self) -> dict[int, RouteResult]:
+        """Route every queued query in one batch; results by ticket."""
+        if not self._pending:
+            return {}
+        tickets = [t for t, _ in self._pending]
+        pairs = [p for _, p in self._pending]
+        self._pending = []
+        results = self.route_batch(pairs)
+        flushed = dict(zip(tickets, results))
+        self._done.update(flushed)
+        return flushed
+
+    def take_completed(self) -> dict[int, RouteResult]:
+        """Drain every completed queued query accumulated so far."""
+        done, self._done = self._done, {}
+        return done
+
+    # -- fault events ------------------------------------------------------
+
+    def inject(self, cells: Iterable[Sequence[int]]) -> FaultEvent:
+        """Flush queued queries, then mark ``cells`` faulty (new epoch)."""
+        self.flush()
+        event = self.model.inject(cells)
+        self.router.apply_event(event)
+        return event
+
+    def repair(self, cells: Iterable[Sequence[int]]) -> FaultEvent:
+        """Flush queued queries, then mark ``cells`` healthy (new epoch)."""
+        self.flush()
+        event = self.model.repair(cells)
+        self.router.apply_event(event)
+        return event

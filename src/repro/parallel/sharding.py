@@ -32,8 +32,9 @@ Command-line interface (also see ``benchmarks/bench_sweep_sharding.py``)::
 
 The positional experiment accepts registered names (``success_rate``,
 ``region_overhead``, ``des_routing``, ``protocol_overhead``,
-``fidelity``, ``ablation_rfb``, ``ablation_4d``) or the paper's table
-aliases (``t1``–``t5``, ``a1``, ``a4``); ``--experiment NAME`` is kept
+``fidelity``, ``churn``, ``ablation_rfb``, ``ablation_4d``) or the
+table aliases (``t1``–``t6``, ``a1``, ``a4``; ``t6`` is the fault-churn
+workload added on top of the paper); ``--experiment NAME`` is kept
 for scripts.  ``--shape``/``--fault-counts``/``--trials``/``--seed``
 define the pattern grid; ``--pairs`` (T1/T2/T5) or ``--queries`` (T4)
 size the per-pattern workload; ``--workers`` sets the process count
@@ -122,6 +123,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "repro.experiments.exp_ablation:evaluate_mesh4d_pattern",
         "repro.experiments.exp_ablation:reduce_mesh4d_records",
     ),
+    "churn": (
+        "repro.experiments.exp_churn:evaluate_pattern",
+        "repro.experiments.exp_churn:reduce_records",
+    ),
 }
 
 #: Paper-table shorthands accepted by the CLI's positional argument.
@@ -131,6 +136,7 @@ CLI_ALIASES: dict[str, str] = {
     "t3": "protocol_overhead",
     "t4": "des_routing",
     "t5": "fidelity",
+    "t6": "churn",
     "a1": "ablation_rfb",
     "a4": "ablation_4d",
 }
@@ -163,6 +169,10 @@ CLI_RUNNERS: dict[str, tuple[str, tuple[str, ...]]] = {
     "fidelity": ("repro.experiments.exp_fidelity:run_fidelity", ("pairs",)),
     "ablation_rfb": ("repro.experiments.exp_ablation:run_rfb_variants", ()),
     "ablation_4d": ("repro.experiments.exp_ablation:run_mesh4d_extension", ()),
+    "churn": (
+        "repro.experiments.exp_churn:run_churn",
+        ("pairs", "epochs", "churn"),
+    ),
 }
 
 #: Format marker + schema version of the sweep-checkpoint JSONL header.
@@ -551,6 +561,14 @@ def main(argv: Sequence[str] | None = None) -> None:
     parser.add_argument("--trials", type=int, default=8)
     parser.add_argument("--pairs", type=int, default=200)
     parser.add_argument("--queries", type=int, default=30)
+    parser.add_argument(
+        "--epochs", type=int, default=6,
+        help="fault events per pattern (churn/t6 sweep)",
+    )
+    parser.add_argument(
+        "--churn", type=int, default=2,
+        help="cells injected/repaired per event (churn/t6 sweep)",
+    )
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--shards", type=int, default=None)

@@ -78,20 +78,31 @@ class RoutingService:
 
     def __init__(
         self,
-        fault_mask: np.ndarray,
+        fault_mask: np.ndarray | None,
         mode: str = "mcc",
         policy: Policy | None = None,
         max_hops: int | None = None,
         reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
         replay_policy: bool = False,
+        label_cache: bool = True,
+        router: AdaptiveRouter | None = None,
     ):
-        self.router = AdaptiveRouter(
-            fault_mask,
-            mode=mode,
-            policy=policy,
-            max_hops=max_hops,
-            reach_cache_size=reach_cache_size,
-        )
+        if router is not None:
+            # Adopt a caller-owned router (the online service supplies
+            # one whose models track a mutating fault set); the other
+            # model knobs must then live on that router.
+            self.router = router
+        else:
+            if fault_mask is None:
+                raise ValueError("RoutingService needs a fault_mask or a router")
+            self.router = AdaptiveRouter(
+                fault_mask,
+                mode=mode,
+                policy=policy,
+                max_hops=max_hops,
+                reach_cache_size=reach_cache_size,
+                label_cache=label_cache,
+            )
         #: Replay forwarding walks in input order so stateful policies
         #: (``RandomPolicy``) draw exactly as a per-call loop would.
         self.replay_policy = replay_policy

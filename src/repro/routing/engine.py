@@ -33,6 +33,7 @@ import numpy as np
 from repro.baselines.rfb import rfb_labelled
 from repro.core.components import extract_mccs
 from repro.core.labelling import FAULTY, USELESS, LabelledGrid, label_grid
+from repro.core.model_cache import cached_class_assets
 from repro.core.walls import Wall, build_walls
 from repro.mesh.coords import Coord, manhattan
 from repro.mesh.orientation import Orientation
@@ -60,6 +61,11 @@ class RouteResult:
     feasible: bool | None
     stuck_at: Coord | None = None
     reason: str = ""
+    #: Fault-model epoch the verdict was computed against.  ``None`` for
+    #: static routers; :class:`repro.online.OnlineRoutingService` stamps
+    #: it so callers can tell which version of a mutating fault set a
+    #: result reflects.
+    epoch: int | None = None
 
     @property
     def hops(self) -> int:
@@ -98,14 +104,23 @@ class _ClassModel:
         walls: list[Wall],
         labeller=label_grid,
         reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
+        blocked: np.ndarray | None = None,
+        open_mask: np.ndarray | None = None,
+        unsafe: np.ndarray | None = None,
     ):
+        """``blocked``/``open_mask``/``unsafe`` override the masks
+        normally derived from ``labelled.status`` — the online router
+        passes its dynamic class's live arrays here so fault events
+        update the model in place instead of rebuilding it."""
         self.labelled = labelled
         self.walls = walls
         self.labeller = labeller
-        self.unsafe = labelled.unsafe_mask
+        self.unsafe = labelled.unsafe_mask if unsafe is None else unsafe
         status = labelled.status
-        self._blocked = (status == FAULTY) | (status == USELESS)
-        self._open = ~self._blocked
+        if blocked is None:
+            blocked = (status == FAULTY) | (status == USELESS)
+        self._blocked = blocked
+        self._open = ~blocked if open_mask is None else open_mask
         # Reverse-reachability through permitted cells, per destination
         # (LRU-bounded: million-pair workloads touch many destinations).
         self._reach: LRUCache[Coord, np.ndarray] = LRUCache(reach_cache_size)
@@ -176,7 +191,11 @@ class AdaptiveRouter:
 
     ``reach_cache_size`` bounds the per-destination reachability masks
     cached by each class model (and oracle mode's forbidden-set masks);
-    ``None`` disables the bound.
+    ``None`` disables the bound.  ``label_cache=True`` (default) reuses
+    canonical-class labellings across routers by fault-mask content
+    (:mod:`repro.core.model_cache`), so sweeps that revisit a pattern —
+    or several model consumers over one pattern — label each direction
+    class once per process.
     """
 
     MODES = ("mcc", "rfb", "oracle", "blind")
@@ -188,6 +207,7 @@ class AdaptiveRouter:
         policy: Policy | None = None,
         max_hops: int | None = None,
         reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
+        label_cache: bool = True,
     ):
         if mode not in self.MODES:
             raise ValueError(f"unknown router mode {mode!r}; pick from {self.MODES}")
@@ -196,6 +216,7 @@ class AdaptiveRouter:
         self.policy = policy or FixedOrderPolicy()
         self.max_hops = max_hops
         self.reach_cache_size = reach_cache_size
+        self.label_cache = label_cache
         self._models: dict[tuple[int, ...], _ClassModel] = {}
         # Oracle mode: reverse-reachability masks cached per (class, dest).
         self._blocked_cache: LRUCache[
@@ -207,12 +228,20 @@ class AdaptiveRouter:
     def _model_for(self, orientation: Orientation) -> _ClassModel:
         key = orientation.signs
         if key not in self._models:
-            if self.mode == "rfb":
-                labelled = rfb_labelled(self.fault_mask, orientation)
-                labeller = rfb_labelled
-            elif self.mode == "mcc":
-                labelled = label_grid(self.fault_mask, orientation)
-                labeller = label_grid
+            if self.mode in ("mcc", "rfb"):
+                labeller = rfb_labelled if self.mode == "rfb" else label_grid
+                if self.label_cache:
+                    # Content-addressed: the digest is taken from the
+                    # mask as it is *now*, so the cached labelling
+                    # always matches the labelled content even when a
+                    # caller mutates its mask array between builds.
+                    labelled, _, walls = cached_class_assets(
+                        self.fault_mask, orientation,
+                        labeller=labeller, kind=self.mode,
+                    )
+                else:
+                    labelled = labeller(self.fault_mask, orientation)
+                    walls = build_walls(extract_mccs(labelled))
             else:
                 # oracle/blind consult only the fault mask: skip the
                 # labelling fixed point and mark faults directly.
@@ -220,9 +249,6 @@ class AdaptiveRouter:
                 status *= FAULTY
                 labelled = LabelledGrid(status=status, orientation=orientation)
                 labeller = label_grid
-            if self.mode in ("mcc", "rfb"):
-                walls = build_walls(extract_mccs(labelled))
-            else:
                 walls = []
             self._models[key] = _ClassModel(
                 labelled, walls, labeller, self.reach_cache_size

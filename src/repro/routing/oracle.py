@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.mesh.orientation import Orientation
 from repro.mesh.regions import Box
 
 
@@ -159,6 +160,71 @@ def reverse_reachable_many(
         seeds[b][tuple(k - 1 - c for c, k in zip(dest, open_mask.shape))] = True
     flooded = monotone_flood_many(flipped_open, seeds)
     return np.flip(flooded, axis=tuple(a + 1 for a in axes))
+
+
+#: Destinations per batched reverse-flood call in :func:`probe_reverse_reachable`
+#: (bounds the transient stacked-mask memory, chunk x mesh bools).
+PROBE_CHUNK = 64
+
+
+def group_jobs_by_class(pairs, shape):
+    """Group mesh-frame pairs by direction class as canonical probe jobs.
+
+    Yields ``(orientation, jobs)`` per direction class touched, where
+    ``jobs`` is a list of ``(index, canonical_source, canonical_dest)``
+    ready for :func:`probe_reverse_reachable` — ``index`` is the pair's
+    position in ``pairs``.  The shared front half of every batched
+    reachability consumer (detection pass, fidelity records): one class
+    grouping + coordinate mapping, then each caller picks its own open
+    masks per class.
+    """
+    by_class: dict[tuple[int, ...], list[int]] = {}
+    for i, (source, dest) in enumerate(pairs):
+        signs = Orientation.for_pair(source, dest, shape).signs
+        by_class.setdefault(signs, []).append(i)
+    for signs, members in by_class.items():
+        orientation = Orientation(signs, tuple(shape))
+        yield orientation, [
+            (
+                i,
+                orientation.map_coord(pairs[i][0]),
+                orientation.map_coord(pairs[i][1]),
+            )
+            for i in members
+        ]
+
+
+def probe_reverse_reachable(
+    open_mask: np.ndarray,
+    jobs: Sequence[tuple[int, Sequence[int], Sequence[int]]],
+    out: np.ndarray,
+    keep: dict | None = None,
+    chunk: int = PROBE_CHUNK,
+) -> None:
+    """Scatter reverse-reachability verdicts for many canonical pairs.
+
+    ``jobs`` is a list of ``(index, source, dest)`` in the canonical
+    frame of ``open_mask``; for each job, ``out[index]`` is set to
+    whether ``dest`` is monotonically reachable from ``source`` through
+    open cells.  Jobs are grouped by destination and flooded through
+    :func:`reverse_reachable_many` in chunks, so the cost is one
+    batched DP per ``chunk`` distinct destinations instead of one flood
+    per pair — the shared kernel behind the batched detection pass and
+    the fidelity experiment's oracle records.  With ``keep`` given, the
+    per-destination reach masks are stored there keyed by destination.
+    """
+    by_dest: dict[tuple[int, ...], list] = {}
+    for index, source, dest in jobs:
+        by_dest.setdefault(tuple(dest), []).append((index, tuple(source)))
+    dests = list(by_dest)
+    for start in range(0, len(dests), chunk):
+        block = dests[start : start + chunk]
+        stacked = reverse_reachable_many(open_mask, block)
+        for dest, reach in zip(block, stacked):
+            for index, source in by_dest[dest]:
+                out[index] = bool(reach[source])
+            if keep is not None:
+                keep[dest] = reach
 
 
 def minimal_path_exists(

@@ -143,3 +143,44 @@ class TestFloods3D:
         lab = label_grid(np.zeros((3, 3, 3, 3), dtype=bool))
         with pytest.raises(NotImplementedError):
             detect_canonical(lab.unsafe_mask, (0,) * 4, (2,) * 4)
+
+
+class TestDetectionBatch:
+    """The batched detection pass is pair-for-pair identical."""
+
+    @given(st.integers(0, 2**32 - 1), st.sampled_from([(6, 6), (7, 4), (4, 4, 4)]))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_per_pair(self, seed, shape):
+        from repro.core.detection import detection_feasible_batch
+
+        rng = np.random.default_rng(seed)
+        n = int(np.prod(shape))
+        mask = random_mask(rng, shape, int(rng.integers(0, n // 4 + 1)))
+        cells = np.argwhere(~mask)
+        pairs = []
+        for _ in range(20):
+            i, j = rng.integers(0, len(cells), size=2)
+            pairs.append(
+                (
+                    tuple(int(v) for v in cells[i]),
+                    tuple(int(v) for v in cells[j]),
+                )
+            )
+        got = detection_feasible_batch(mask, pairs)
+        assert got.dtype == bool and got.shape == (len(pairs),)
+        for verdict, (s, d) in zip(got, pairs):
+            assert bool(verdict) == detection_feasible(mask, s, d), (s, d)
+
+    def test_faulty_endpoint_raises_like_per_pair(self):
+        from repro.core.detection import detection_feasible_batch
+
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 1] = True
+        with pytest.raises(ValueError):
+            detection_feasible_batch(mask, [((1, 1), (3, 3))])
+
+    def test_empty_batch(self):
+        from repro.core.detection import detection_feasible_batch
+
+        out = detection_feasible_batch(np.zeros((3, 3), dtype=bool), [])
+        assert out.shape == (0,)

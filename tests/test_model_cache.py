@@ -1,0 +1,119 @@
+"""Tests for cross-pattern labelling reuse (repro.core.model_cache)."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import ConditionEvaluator
+from repro.core.labelling import label_grid
+from repro.core.model_cache import (
+    LABELLING_CACHE,
+    cached_class_assets,
+    cached_labelled,
+    clear_labelling_cache,
+)
+from repro.mesh.orientation import Orientation
+from repro.routing.engine import AdaptiveRouter
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_labelling_cache()
+    yield
+    clear_labelling_cache()
+
+
+def some_mask():
+    mask = np.zeros((6, 6), dtype=bool)
+    mask[2, 3] = mask[3, 3] = mask[3, 2] = True
+    return mask
+
+
+class TestCachedLabelled:
+    def test_same_content_shares_one_labelling(self):
+        a = cached_labelled(some_mask(), Orientation.identity((6, 6)))
+        b = cached_labelled(some_mask(), Orientation.identity((6, 6)))
+        assert a is b  # content-addressed: distinct arrays, one entry
+
+    def test_matches_label_grid(self):
+        for orientation in Orientation.all_classes((6, 6)):
+            want = label_grid(some_mask(), orientation)
+            got = cached_labelled(some_mask(), orientation)
+            assert np.array_equal(want.status, got.status)
+
+    def test_cached_status_is_frozen(self):
+        labelled = cached_labelled(some_mask(), Orientation.identity((6, 6)))
+        with pytest.raises(ValueError):
+            labelled.status[0, 0] = 3
+
+    def test_distinct_contents_distinct_entries(self):
+        other = some_mask()
+        other[0, 0] = True
+        a = cached_labelled(some_mask(), Orientation.identity((6, 6)))
+        b = cached_labelled(other, Orientation.identity((6, 6)))
+        assert a is not b
+        assert not np.array_equal(a.status, b.status)
+
+    def test_kind_namespaces_do_not_collide(self):
+        from repro.baselines.rfb import rfb_labelled
+
+        mcc = cached_labelled(some_mask(), Orientation.identity((6, 6)))
+        rfb = cached_labelled(
+            some_mask(),
+            Orientation.identity((6, 6)),
+            labeller=rfb_labelled,
+            kind="rfb",
+        )
+        assert mcc is not rfb
+
+
+class TestAssetsSharing:
+    def test_router_and_evaluator_share_labelling(self):
+        mask = some_mask()
+        router = AdaptiveRouter(mask, mode="mcc")
+        evaluator = ConditionEvaluator(mask.copy())
+        orientation = Orientation.identity((6, 6))
+        model = router._model_for(orientation)
+        labelled, _mccs, walls = evaluator.for_orientation(orientation)
+        assert model.labelled is labelled
+        assert model.walls is walls
+
+    def test_two_routers_same_pattern_label_once(self):
+        mask = some_mask()
+        r1 = AdaptiveRouter(mask, mode="mcc")
+        r2 = AdaptiveRouter(mask.copy(), mode="mcc")
+        orientation = Orientation.identity((6, 6))
+        assert (
+            r1._model_for(orientation).labelled
+            is r2._model_for(orientation).labelled
+        )
+
+    def test_label_cache_false_bypasses(self):
+        mask = some_mask()
+        router = AdaptiveRouter(mask, mode="mcc", label_cache=False)
+        orientation = Orientation.identity((6, 6))
+        labelled = router._model_for(orientation).labelled
+        assert len(LABELLING_CACHE) == 0
+        labelled.status[0, 0] = labelled.status[0, 0]  # writable: no freeze
+
+    def test_assets_reuse_labelled_entry(self):
+        orientation = Orientation.identity((6, 6))
+        labelled = cached_labelled(some_mask(), orientation)
+        assets = cached_class_assets(some_mask(), orientation)
+        assert assets[0] is labelled
+
+    def test_routing_results_unchanged_by_cache(self):
+        mask = some_mask()
+        cached = AdaptiveRouter(mask, mode="mcc").route((0, 0), (5, 5))
+        fresh = AdaptiveRouter(mask, mode="mcc", label_cache=False).route(
+            (0, 0), (5, 5)
+        )
+        assert (cached.delivered, cached.path) == (fresh.delivered, fresh.path)
+
+    def test_lru_bound_holds(self):
+        orientation = Orientation.identity((4, 4))
+        for i in range(LABELLING_CACHE.maxsize + 10):
+            mask = np.zeros((4, 4), dtype=bool)
+            mask.flat[i % 16] = True
+            mask.flat[(i * 7 + 3) % 16] = True
+            cached_labelled(mask, orientation)
+        assert len(LABELLING_CACHE) <= LABELLING_CACHE.maxsize

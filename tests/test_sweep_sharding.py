@@ -187,7 +187,7 @@ class TestPortedExperiments:
         assert set(CLI_ALIASES.values()) <= set(CLI_RUNNERS)
         for runner_path, workload_flags in CLI_RUNNERS.values():
             assert callable(_resolve(runner_path))
-            assert set(workload_flags) <= {"pairs", "queries"}
+            assert set(workload_flags) <= {"pairs", "queries", "epochs", "churn"}
 
 
 def journal_lines(path) -> list[str]:

@@ -112,3 +112,62 @@ class TestValidation:
             check_shape_member("c", (1,), (3, 3))
         with pytest.raises(IndexError):
             check_shape_member("c", (3, 0), (3, 3))
+
+
+class TestLRUCacheEviction:
+    def test_pop_removes_without_counting_eviction(self):
+        from repro.util.caching import LRUCache
+
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None  # absent now
+        assert cache.pop("never") is None
+        assert cache.evictions == 0
+        assert len(cache) == 1 and "b" in cache
+
+    def test_keys_snapshot_is_lru_ordered_and_safe_to_mutate_over(self):
+        from repro.util.caching import LRUCache
+
+        cache = LRUCache(8)
+        for k in "abc":
+            cache.put(k, k)
+        cache.get("a")  # refresh: order becomes b, c, a
+        assert cache.keys() == ["b", "c", "a"]
+        for k in cache.keys():  # popping while iterating the snapshot
+            cache.pop(k)
+        assert len(cache) == 0
+
+
+class TestMaskDigest:
+    def test_content_addressing(self):
+        import numpy as np
+
+        from repro.util.caching import mask_digest
+
+        a = np.zeros((4, 5), dtype=bool)
+        b = np.zeros((4, 5), dtype=bool)
+        assert mask_digest(a) == mask_digest(b)
+        b[1, 2] = True
+        assert mask_digest(a) != mask_digest(b)
+
+    def test_shape_disambiguates_same_bits(self):
+        import numpy as np
+
+        from repro.util.caching import mask_digest
+
+        a = np.zeros((2, 8), dtype=bool)
+        b = np.zeros((4, 4), dtype=bool)
+        assert mask_digest(a) != mask_digest(b)
+
+    def test_noncontiguous_views_hash_by_content(self):
+        import numpy as np
+
+        from repro.util.caching import mask_digest
+
+        base = np.zeros((5, 5), dtype=bool)
+        base[1, 3] = True
+        flipped = np.flip(base, axis=(0, 1))
+        direct = flipped.copy()
+        assert mask_digest(flipped) == mask_digest(direct)
