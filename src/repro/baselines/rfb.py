@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
-from repro.core.labelling import FAULTY, LabelledGrid, USELESS
+from repro.core.labelling import FAULTY, LabelledGrid, SAFE, USELESS
 from repro.mesh.orientation import Orientation
 from repro.mesh.regions import Box
 
@@ -108,6 +108,138 @@ def rfb_unsafe(fault_mask: np.ndarray, variant: str = "block") -> np.ndarray:
         if clipped is not None:
             out[clipped.slices()] = True
     return out
+
+
+class DynamicRFBState:
+    """Incrementally maintained RFB region over a mutating fault mask.
+
+    The online counterpart of :func:`rfb_unsafe` (the baseline analog of
+    the MCC model's :class:`repro.online.dynamic_model.DynamicFaultModel`):
+    ``unsafe``/``open``/``status`` are mesh-frame arrays mutated **in
+    place**, so router-side model state may alias them (per direction
+    class via orientation views — RFB regions are direction-independent,
+    which is itself an 8x saving over the cold per-class labeller).
+
+    :meth:`apply` is a **block-local recompute**: only the blocks an
+    event can influence are rebuilt.  The local closure provably stays inside
+    the bounding box of its generating faults, and two block sets only
+    interact when within Chebyshev distance 1 of each other (the merge
+    rule), so the recompute region starts at the event's bounding box,
+    transitively swallows every existing block within distance 1, and is
+    recomputed as a cropped sub-problem with the outside frozen.  If the
+    fresh blocks end up within distance 1 of a frozen outside block, the
+    region grows and the crop is redone — byte-identity with a
+    from-scratch :func:`rfb_unsafe` of the current mask is
+    property-tested in ``tests/test_rfb.py``.
+    """
+
+    #: Region fraction of the mesh above which a from-scratch recompute
+    #: is simpler than the cropped one (same asymptotics at that size).
+    FULL_RECOMPUTE_FRACTION = 0.5
+
+    def __init__(self, fault_mask: np.ndarray):
+        self.fault_mask = fault_mask  # live alias; owner mutates in place
+        self.shape = tuple(fault_mask.shape)
+        self.unsafe = rfb_unsafe(fault_mask)
+        self.open = ~self.unsafe
+        self.status = np.zeros(self.shape, dtype=np.int8)
+        self.blocks = rfb_blocks(fault_mask)
+        self._refresh_box(Box((0,) * len(self.shape), tuple(k - 1 for k in self.shape)))
+
+    def _refresh_box(self, box: Box) -> None:
+        sl = box.slices()
+        faults = self.fault_mask[sl]
+        status = self.status[sl]
+        status[...] = SAFE
+        status[self.unsafe[sl] & ~faults] = USELESS
+        status[faults] = FAULTY
+        self.open[sl] = ~self.unsafe[sl]
+
+    def rebuild(self) -> None:
+        """From-scratch recompute, in place (fallback path)."""
+        self.unsafe[...] = rfb_unsafe(self.fault_mask)
+        self.blocks = rfb_blocks(self.fault_mask)
+        self._refresh_box(Box((0,) * len(self.shape), tuple(k - 1 for k in self.shape)))
+
+    def apply(self, cells, kind: str) -> tuple[Box | None, int, bool]:
+        """Recompute after ``cells`` changed state (mask already mutated).
+
+        Returns ``(dirty, swept, full)``: the bounding box of the cells
+        whose *unsafe* status changed (``None`` when the region is
+        unchanged — e.g. faults appearing inside an existing block), the
+        number of cells swept by the recompute, and whether the
+        full-recompute fallback ran.
+        """
+        cells = [tuple(int(v) for v in c) for c in cells]
+        if kind == "inject" and all(self.unsafe[c] for c in cells):
+            # New faults strictly inside existing blocks: the closure
+            # and the block set are unchanged, only the status colors.
+            for c in cells:
+                self.status[c] = FAULTY
+            return None, 0, False
+        mesh_cells = self.fault_mask.size
+        region = Box.of_cells(cells)
+        # Swallow every existing block the event region can interact
+        # with (merge radius 1), transitively.
+        pending = list(self.blocks)
+        grew = True
+        while grew:
+            grew = False
+            still_out = []
+            for b in pending:
+                if b.inflate(1).intersects(region):
+                    region = region.union_box(b)
+                    grew = True
+                else:
+                    still_out.append(b)
+            pending = still_out
+        outside = pending
+        while True:
+            if region.volume > self.FULL_RECOMPUTE_FRACTION * mesh_cells:
+                old = self.unsafe.copy()
+                self.rebuild()
+                changed = np.argwhere(old != self.unsafe)
+                dirty = (
+                    Box.of_cells(changed) if len(changed) else None
+                )
+                return dirty, 2 * mesh_cells, True
+            sl = region.slices()
+            local_blocks = [
+                Box(
+                    tuple(a + o for a, o in zip(b.lo, region.lo)),
+                    tuple(a + o for a, o in zip(b.hi, region.lo)),
+                )
+                for b in rfb_blocks(self.fault_mask[sl])
+            ]
+            offenders = [
+                b
+                for b in outside
+                if any(nb.inflate(1).intersects(b) for nb in local_blocks)
+            ]
+            if not offenders:
+                break
+            for b in offenders:
+                region = region.union_box(b)
+            outside = [b for b in outside if b not in offenders]
+        old_sub = self.unsafe[sl].copy()
+        new_sub = np.zeros_like(old_sub)
+        for b in local_blocks:
+            new_sub[
+                tuple(
+                    slice(a - o, c - o + 1)
+                    for a, c, o in zip(b.lo, b.hi, region.lo)
+                )
+            ] = True
+        self.unsafe[sl] = new_sub
+        self.blocks = outside + local_blocks
+        self._refresh_box(region)
+        changed = np.argwhere(old_sub != new_sub)
+        dirty = None
+        if len(changed):
+            lo = tuple(int(v) + o for v, o in zip(changed.min(axis=0), region.lo))
+            hi = tuple(int(v) + o for v, o in zip(changed.max(axis=0), region.lo))
+            dirty = Box(lo, hi)
+        return dirty, region.volume, False
 
 
 def rfb_labelled(

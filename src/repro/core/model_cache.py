@@ -102,6 +102,43 @@ def cached_class_assets(
     return assets
 
 
+#: Bound on cached :class:`~repro.routing.batch.RoutingService`
+#: instances.  A service pins its router's per-class models and
+#: LRU-bounded reach caches, so the bound stays small — enough for the
+#: sweeps' revisit window (T4 scoring, ablation variants) without
+#: pinning every pattern of a long sweep.
+DEFAULT_SERVICE_CACHE_SIZE = 8
+
+_SERVICE_CACHE: LRUCache[tuple, object] = LRUCache(DEFAULT_SERVICE_CACHE_SIZE)
+
+
+def cached_routing_service(fault_mask: np.ndarray, mode: str = "oracle"):
+    """A process-wide :class:`RoutingService`, keyed by mask content.
+
+    The cross-pattern analog of :func:`cached_class_assets` for the
+    *flood* side of the model: oracle-mode scoring keeps no labellings,
+    but its per-destination reverse-reachability masks live in the
+    router's caches, so consumers that revisit a fault pattern (the T4
+    DES scorer, ablation variants re-scoring one mask) reuse the floods
+    instead of re-deriving them.  The mask is copied before keying so a
+    caller mutating its array cannot silently poison the cached service.
+
+    Only stateless-policy modes are safely shareable; the default
+    oracle service is what the DES experiments need.
+    """
+    from repro.routing.batch import RoutingService  # avoid import cycle
+
+    fault_mask = np.asarray(fault_mask, dtype=bool)
+    key = (mask_digest(fault_mask), mode, "service")
+    hit = _SERVICE_CACHE.get(key)
+    if hit is not None:
+        return hit
+    service = RoutingService(fault_mask.copy(), mode=mode)
+    _SERVICE_CACHE.put(key, service)
+    return service
+
+
 def clear_labelling_cache() -> None:
-    """Drop every cached labelling (tests, memory pressure)."""
+    """Drop every cached labelling and service (tests, memory pressure)."""
     LABELLING_CACHE.clear()
+    _SERVICE_CACHE.clear()

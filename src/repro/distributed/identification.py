@@ -117,7 +117,15 @@ class IdentificationMixin(NodeProcess):
 
     # -- phase 1: edge announcements -------------------------------------------
 
-    def start_identification(self) -> None:
+    def start_identification(self, announce_empty: bool = False) -> None:
+        """Phase-1 edge announcements plus the corner-check timer.
+
+        ``announce_empty`` sends an EDGE message even when this node has
+        no unsafe neighbors: re-stabilization after a fault event uses
+        it so neighbors replace stale edge knowledge about this node (an
+        initial build has nothing stale to clear and skips the empty
+        broadcast).
+        """
         if self.store.get("label", SAFE) != SAFE:
             return  # unsafe nodes take no part
         self.store.setdefault("shapes", {})
@@ -129,7 +137,7 @@ class IdentificationMixin(NodeProcess):
             dirs = self._unsafe_plane_dirs(*plane)
             if dirs:
                 announce.append([list(plane), [list(d) for d in dirs]])
-        if announce:
+        if announce or announce_empty:
             for n in self.neighbors():
                 if not self.network.is_faulty(n):
                     self.send(n, "EDGE", {"planes": announce})

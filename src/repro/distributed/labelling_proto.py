@@ -72,6 +72,50 @@ class LabellingNode(NodeProcess):
                 return False
         return True
 
+    # -- incremental re-stabilization hooks (fault churn) -----------------------
+
+    def notice_neighbor_died(self, neighbor: Coord) -> None:
+        """Link-level liveness: ``neighbor`` stopped responding.
+
+        Labels only *escalate* under the closure rules, so an injection
+        needs no reset at all: updating the local knowledge and
+        re-running the rule converges to the new fixed point from the
+        old one (warm start; see DESIGN.md).
+        """
+        known = self.store.setdefault("known_labels", {})
+        neighbor = tuple(neighbor)
+        if known.get(neighbor) == FAULTY:
+            return
+        known[neighbor] = FAULTY
+        self._reevaluate(announce_if_unchanged=False)
+
+    def reset_labelling(self, reset_set: set[Coord]) -> None:
+        """Drop this node's label ahead of a scoped repair re-stabilization.
+
+        ``reset_set`` is the set of nodes being reset together (the
+        labelled cells of the event's dirty slabs plus the repaired
+        cells): knowledge about *those* neighbors is re-seeded from
+        link-level liveness, while knowledge about every other neighbor
+        — whose label the dirty-slab argument proves unchanged — is
+        kept.  The caller resets every member first and then schedules
+        :meth:`announce_labelling`, so announcements only flow once all
+        seeds are in place.
+        """
+        self.store["label"] = SAFE
+        known = self.store.setdefault("known_labels", {})
+        for n in self.neighbors():
+            if n in reset_set or n not in known:
+                known[n] = FAULTY if self.network.is_faulty(n) else SAFE
+
+    def announce_labelling(self) -> None:
+        """Re-run the local rule and announce even an unchanged label.
+
+        After a reset the label may legitimately *shrink* (repair);
+        nodes outside the reset set would otherwise keep stale knowledge
+        forever because the protocol only announces changes.
+        """
+        self._reevaluate(announce_if_unchanged=True)
+
     def _reevaluate(self, announce_if_unchanged: bool) -> None:
         old = self.store["label"]
         label = old

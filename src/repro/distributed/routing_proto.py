@@ -32,6 +32,19 @@ Canonical-frame protocol (the pipeline orients the mesh per pair):
 Outcomes are deposited at the source node's store: ``"queries"`` maps a
 query id to ``"delivered"``, ``"infeasible"`` or ``"stuck"`` plus the
 path taken.
+
+**Concurrent sessions.**  Every piece of routing state is namespaced by
+the pipeline-unique query id: the per-source ``"queries"`` records, the
+flood dedup set (keyed ``(query, surface)``), the detection timeout
+timer tag (``detect-timeout:<id>``), and each walker's path/visited
+state (carried in the message payload, never in node stores).  Every
+DETECT/ROUTE message and reply also carries the id in its payload — the
+network attributes per-session message cost from that tag.  Queries
+read only node-local state that is *static during the query phase*
+(labels, boundary records), so any number of walks may interleave in
+one ``run_to_quiescence`` and each resolves exactly as it would have
+alone; ``tests/test_des_concurrent.py`` pins that batch results are
+element-wise identical to blocking per-query calls.
 """
 
 from __future__ import annotations

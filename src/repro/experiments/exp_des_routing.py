@@ -4,11 +4,22 @@ Routes random canonical-frame pairs through the *distributed* stack and
 scores delivery, minimality (hop count = Manhattan distance), agreement
 with the oracle, and per-query message cost (detection + routing).
 
-The oracle ground truth comes from one batched
+The whole query batch of a pattern rides **one simulator run**: every
+pair is submitted as a non-blocking query session
+(:meth:`DistributedMCCPipeline.submit`) and a single
+:meth:`~DistributedMCCPipeline.drain` resolves them all, with
+per-query message cost taken from the network's session attribution —
+element-wise identical (statuses, paths, and message counts) to the
+retired blocking one-query-at-a-time loop, which
+``benchmarks/bench_des_concurrent.py`` pins and times.  The oracle
+ground truth comes from one batched
 :meth:`RoutingService.feasible_batch` call per fault pattern (one
-reverse flood per distinct destination) instead of a fresh flood per
-query.  Each fault pattern — its DES pipeline build plus query replay —
-is one sharded :class:`repro.parallel.sharding.PatternTask`;
+reverse flood per distinct destination) through the process-wide
+content-addressed service cache
+(:func:`repro.core.model_cache.cached_routing_service`), so revisited
+patterns reuse their floods exactly like T5 reuses labellings.  Each
+fault pattern — its DES pipeline build plus query replay — is one
+sharded :class:`repro.parallel.sharding.PatternTask`;
 ``run_des_routing(..., workers=N)`` fans the patterns out across
 processes with seed-stable results for any worker/shard count.
 
@@ -30,12 +41,12 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.core.labelling import label_grid
+from repro.core.model_cache import cached_routing_service
 from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask
 from repro.mesh.coords import manhattan
 from repro.mesh.topology import Mesh
 from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
-from repro.routing.batch import RoutingService
 from repro.util.records import ResultTable
 from repro.util.rng import SeedLike
 
@@ -51,7 +62,14 @@ _COUNTERS = (
 
 
 def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
-    """Build one pattern's DES pipeline and replay its query workload."""
+    """Build one pattern's DES pipeline and run its query batch at once.
+
+    The pair draws replay the retired serial loop's RNG stream exactly
+    (routing never consumed random draws), then the whole batch routes
+    concurrently through a single ``run_to_quiescence`` and is scored
+    with one cached-service ``feasible_batch`` call — so the merged T4
+    table is byte-identical to the serial implementation's.
+    """
     rng = task.rng()
     record: dict[str, float] = {name: 0 for name in _COUNTERS}
     record["msg_cost"] = 0.0
@@ -62,7 +80,6 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
     pipe = DistributedMCCPipeline(Mesh(spec.shape), mask).build()
     cells = np.argwhere(safe)
     batch = []
-    statuses = []
     for _ in range(int(spec.param("queries", 30))):
         i, j = rng.integers(0, cells.shape[0], size=2)
         s = tuple(int(c) for c in np.minimum(cells[i], cells[j]))
@@ -70,10 +87,13 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
         if not (safe[s] and safe[d]) or s == d:
             continue
         record["total"] += 1
-        before = pipe.net.stats.total_messages
-        result = pipe.route(s, d)
-        record["msg_cost"] += pipe.net.stats.total_messages - before
         batch.append((s, d))
+    for s, d in batch:
+        pipe.submit(s, d)
+    results = pipe.drain()
+    statuses = []
+    for (s, d), result in zip(batch, results):
+        record["msg_cost"] += result["msgs"]
         status = result["status"]
         statuses.append(status)
         if status == "delivered":
@@ -85,7 +105,8 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
         else:
             record["stuck"] += 1
     if batch:
-        wants = RoutingService(mask, mode="oracle").feasible_batch(batch)
+        service = cached_routing_service(mask, mode="oracle")
+        wants = service.feasible_batch(batch)
         record["oracle_ok"] += int(wants.sum())
         record["agree"] += sum(
             (status == "delivered") == bool(want)

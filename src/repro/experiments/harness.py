@@ -2,10 +2,12 @@
 
 ``run_all(profile="quick")`` keeps everything laptop-fast (seconds to a
 couple of minutes); ``profile="paper"`` uses the larger meshes and
-trial counts recorded in DESIGN.md's experiment index.  All six tiers
-run through :mod:`repro.parallel.sharding`, so ``workers=`` fans every
-table's fault patterns across processes and ``checkpoint_dir=`` makes
-the whole evaluation resumable (one journal per table).
+trial counts recorded in DESIGN.md's experiment index.  All tiers —
+including the churn comparisons T6 (mcc), T6r (rfb baseline), and T6d
+(distributed stack vs both centralized models) — run through
+:mod:`repro.parallel.sharding`, so ``workers=`` fans every table's
+fault patterns across processes and ``checkpoint_dir=`` makes the
+whole evaluation resumable (one journal per table).
 """
 
 from __future__ import annotations
@@ -119,6 +121,28 @@ def run_all(
         seed=seed,
         workers=workers,
         checkpoint=ckpt("T6"),
+    )
+    tables["T6r"] = run_churn(
+        p["shape3d"],
+        p["faults3d"][:3],
+        pairs=max(20, p["pairs"] // 5),
+        epochs=p["churn_epochs"],
+        trials=max(2, p["trials"] // 4),
+        seed=seed,
+        workers=workers,
+        checkpoint=ckpt("T6r"),
+        mode="rfb",
+    )
+    tables["T6d"] = run_churn(
+        p["des_shape"],
+        p["des_faults"][:2],
+        pairs=max(8, p["pairs"] // 10),
+        epochs=max(3, p["churn_epochs"] // 2),
+        trials=p["des_trials"],
+        seed=seed,
+        workers=workers,
+        checkpoint=ckpt("T6d"),
+        des=True,
     )
     return tables
 

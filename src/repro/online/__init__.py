@@ -29,6 +29,13 @@ argument and the invalidation model.
 """
 
 from repro.online.dynamic_model import DynamicFaultModel, FaultEvent
+from repro.online.events import FaultEventStream, StreamEvent
 from repro.online.service import OnlineRoutingService
 
-__all__ = ["DynamicFaultModel", "FaultEvent", "OnlineRoutingService"]
+__all__ = [
+    "DynamicFaultModel",
+    "FaultEvent",
+    "FaultEventStream",
+    "OnlineRoutingService",
+    "StreamEvent",
+]

@@ -1,0 +1,66 @@
+"""Deterministic fault-event streams shared by every churn consumer.
+
+The T6 churn workload alternates injections and repairs of ``churn``
+cells per epoch.  :class:`FaultEventStream` owns exactly that schedule:
+given the *current* fault mask and the epoch index it draws the next
+event from its private generator, so the centralized
+:class:`~repro.online.OnlineRoutingService` and the churn-aware DES
+(:meth:`repro.distributed.pipeline.DistributedMCCPipeline.apply_event`)
+can be driven by the **same** event history — submit traffic, draw one
+event, apply it to every backend, compare.  The draw depends only on
+the generator state and the mask content, so two backends whose masks
+evolve identically (they do: they apply the same events) see identical
+streams, and a sharded sweep replaying a pattern's private seed
+reproduces its whole churn history bit-for-bit.
+
+Epoch alignment: event ``k`` (0-based draw index) creates epoch ``k+1``
+in both the online service (``DynamicFaultModel.epoch``) and the DES
+pipeline (``DistributedMCCPipeline.epoch``) — both count applied
+events from 0 at build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.coords import Coord
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One drawn churn event (mesh-frame cells)."""
+
+    kind: str  # "inject" | "repair"
+    cells: tuple[Coord, ...]
+
+
+class FaultEventStream:
+    """Alternating inject/repair schedule over a live fault set.
+
+    Even epoch indices inject ``churn`` healthy cells, odd indices
+    repair ``churn`` faulty cells (fewer when the pool runs short, no
+    event when it is empty) — the oscillating regime that keeps the
+    fault population around its seed value.
+    """
+
+    def __init__(self, churn: int, rng: np.random.Generator):
+        if churn < 1:
+            raise ValueError(f"churn must be >= 1, got {churn}")
+        self.churn = int(churn)
+        self.rng = rng
+
+    def next_event(
+        self, fault_mask: np.ndarray, epoch_index: int
+    ) -> StreamEvent | None:
+        """Draw the event for ``epoch_index`` against the current mask."""
+        current = np.asarray(fault_mask, dtype=bool)
+        inject = epoch_index % 2 == 0
+        pool = np.argwhere(~current if inject else current)
+        k = min(self.churn, len(pool))
+        if k == 0:
+            return None
+        picks = self.rng.choice(len(pool), size=k, replace=False)
+        cells = tuple(tuple(int(v) for v in pool[i]) for i in picks)
+        return StreamEvent(kind="inject" if inject else "repair", cells=cells)

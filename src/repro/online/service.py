@@ -23,6 +23,12 @@ things the static stack cannot:
   first, so a queued query is always answered at the epoch it was
   submitted under.
 
+The service also carries the paper's baseline fault-information model:
+``mode="rfb"`` keeps a :class:`~repro.baselines.rfb.DynamicRFBState`
+warm across events (block-local recompute, one shared block set for
+all direction classes), so T6 can compare MCC and RFB under identical
+churn histories.
+
 Parity with a cold :class:`RoutingService` built on the current mask is
 property-tested in ``tests/test_online_dynamic.py`` — element-wise
 identical results after arbitrary inject/repair sequences, which is
@@ -35,6 +41,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.baselines.rfb import DynamicRFBState
 from repro.core.labelling import FAULTY, SAFE, LabelledGrid, label_grid
 from repro.mesh.coords import Coord
 from repro.mesh.orientation import Orientation
@@ -61,8 +68,11 @@ class _OnlineRouter(AdaptiveRouter):
     complement the flood-open mask, the labelled grid the composed
     status), so every fault event updates routing state with no
     rebuild; only the per-destination caches need scoped eviction.  In
-    "oracle"/"blind" modes the labelled grids are live views of the
-    fault mask itself.  "rfb" has no incremental form and is rejected.
+    "rfb" mode the class models alias orientation views of one shared
+    :class:`~repro.baselines.rfb.DynamicRFBState` — the baseline's
+    block set is direction-independent, so a single block-local
+    recompute per event serves all 2^n classes.  In "oracle"/"blind"
+    modes the labelled grids are live views of the fault mask itself.
     """
 
     def __init__(
@@ -73,11 +83,6 @@ class _OnlineRouter(AdaptiveRouter):
         max_hops: int | None = None,
         reach_cache_size: int | None = DEFAULT_REACH_CACHE_SIZE,
     ):
-        if mode == "rfb":
-            raise ValueError(
-                "rfb block labelling has no incremental form; "
-                "use mode 'mcc', 'oracle' or 'blind'"
-            )
         # The asarray in the base constructor keeps the model's own
         # array (no copy for a bool ndarray): router reads stay live.
         super().__init__(
@@ -92,6 +97,8 @@ class _OnlineRouter(AdaptiveRouter):
         self.model = model
         # Live int8 view source for oracle/blind labelled grids.
         self._status_mesh = model.fault_mask.astype(np.int8) * FAULTY
+        # Incrementally maintained RFB block state (rfb mode only).
+        self._rfb = DynamicRFBState(model.fault_mask) if mode == "rfb" else None
         #: Reach/forbidden masks dropped by scoped invalidation, and
         #: entries that survived an event (cache-efficiency telemetry).
         self.evicted = 0
@@ -112,6 +119,21 @@ class _OnlineRouter(AdaptiveRouter):
                     blocked=cls.useless_blocked,
                     open_mask=cls.open,
                     unsafe=cls.unsafe,
+                )
+            elif self.mode == "rfb":
+                # Orientation views of the one shared block state: the
+                # block-local recompute mutates the mesh-frame arrays
+                # and every class model sees it immediately.
+                status = orientation.to_canonical(self._rfb.status)
+                labelled = LabelledGrid(status=status, orientation=orientation)
+                m = _ClassModel(
+                    labelled,
+                    [],
+                    label_grid,
+                    self.reach_cache_size,
+                    blocked=orientation.to_canonical(self._rfb.unsafe),
+                    open_mask=orientation.to_canonical(self._rfb.open),
+                    unsafe=orientation.to_canonical(self._rfb.unsafe),
                 )
             else:
                 status = orientation.to_canonical(self._status_mesh)
@@ -136,6 +158,29 @@ class _OnlineRouter(AdaptiveRouter):
         """Invalidate exactly the cached state the event can have touched."""
         for c in event.cells:
             self._status_mesh[c] = FAULTY if self.fault_mask[c] else SAFE
+        if self.mode == "rfb":
+            dirty, swept, full = self._rfb.apply(event.cells, event.kind)
+            event.dirty_cells += swept
+            if full:
+                event.full_recomputes += 1
+            if dirty is None and not full:
+                # Block set unchanged: no cached mask can be stale.
+                for m in self._models.values():
+                    self.retained += len(m._reach)
+                return
+            for signs, m in self._models.items():
+                if full:
+                    self.evicted += len(m._reach)
+                    m._reach.clear()
+                    continue
+                orientation = Orientation(signs, self.fault_mask.shape)
+                mapped = [
+                    orientation.map_coord(dirty.lo),
+                    orientation.map_coord(dirty.hi),
+                ]
+                lo = tuple(int(v) for v in np.min(mapped, axis=0))
+                self._evict_cone(m._reach, m._reach.keys(), lo)
+            return
         if self.mode == "mcc":
             for signs, m in self._models.items():
                 dirt = event.classes.get(signs)

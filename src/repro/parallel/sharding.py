@@ -127,6 +127,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "repro.experiments.exp_churn:evaluate_pattern",
         "repro.experiments.exp_churn:reduce_records",
     ),
+    "churn_des": (
+        "repro.experiments.exp_churn:evaluate_des_pattern",
+        "repro.experiments.exp_churn:reduce_des_records",
+    ),
 }
 
 #: Paper-table shorthands accepted by the CLI's positional argument.
@@ -171,7 +175,14 @@ CLI_RUNNERS: dict[str, tuple[str, tuple[str, ...]]] = {
     "ablation_4d": ("repro.experiments.exp_ablation:run_mesh4d_extension", ()),
     "churn": (
         "repro.experiments.exp_churn:run_churn",
-        ("pairs", "epochs", "churn"),
+        ("pairs", "epochs", "churn", "mode", "des"),
+    ),
+    # ``churn_des`` is reached through ``run_churn(des=True)`` — the CLI
+    # exposes it as ``t6 --des`` so the sweep spec is built in exactly
+    # one place and CLI/Python checkpoints share fingerprints.
+    "churn_des": (
+        "repro.experiments.exp_churn:run_churn",
+        ("pairs", "epochs", "churn", "mode", "des"),
     ),
 }
 
@@ -569,6 +580,15 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--churn", type=int, default=2,
         help="cells injected/repaired per event (churn/t6 sweep)",
     )
+    parser.add_argument(
+        "--mode", choices=["mcc", "rfb", "oracle", "blind"], default="mcc",
+        help="fault-information model the online service maintains (t6)",
+    )
+    parser.add_argument(
+        "--des", action="store_true",
+        help="score the distributed stack under churn next to the "
+        "centralized mcc/rfb services (t6 --des)",
+    )
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--shards", type=int, default=None)
@@ -595,6 +615,9 @@ def main(argv: Sequence[str] | None = None) -> None:
     if name is None:
         parser.error("an experiment is required (positional or --experiment)")
     experiment = CLI_ALIASES.get(name, name)
+    if experiment == "churn_des":
+        # Selecting the DES variant by name is the same as ``t6 --des``.
+        experiment, args.des = "churn", True
     runner_path, workload_flags = CLI_RUNNERS[experiment]
     table = _resolve(runner_path)(
         tuple(args.shape),

@@ -56,6 +56,16 @@ class MeshNetwork:
         """Kill a node mid-simulation (dynamic-fault experiments)."""
         self.fault_mask[tuple(coord)] = True
 
+    def repair(self, coord: Coord) -> None:
+        """Bring a dead node back mid-simulation (churn experiments).
+
+        The node process object is reused but its protocol state is the
+        caller's responsibility — a repaired node is a *fresh* node, so
+        re-stabilization (see ``DistributedMCCPipeline.apply_event``)
+        clears its store and reruns its start hooks.
+        """
+        self.fault_mask[tuple(coord)] = False
+
     # -- message plumbing ------------------------------------------------------
 
     def transmit(self, msg: Message) -> None:
@@ -68,7 +78,7 @@ class MeshNetwork:
             # A node that died mid-action sends nothing (fail-stop).
             self.stats.bump("dropped[src-faulty]")
             return
-        self.stats.on_send(msg.kind)
+        self.stats.on_send(msg.kind, query=msg.payload.get("query"))
         self.sim.schedule(self.link_delay, lambda: self._deliver(msg))
 
     def _deliver(self, msg: Message) -> None:

@@ -3,19 +3,32 @@
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from typing import Hashable
 
 
 class StatsCollector:
-    """Counts messages/hops per message kind and arbitrary named scalars."""
+    """Counts messages/hops per message kind and arbitrary named scalars.
+
+    ``query_messages`` attributes sends to the query session that caused
+    them (messages whose payload carries a ``"query"`` id) — with many
+    routing sessions interleaved in one simulator run, before/after
+    deltas of ``total_messages`` can no longer attribute per-query cost,
+    but the payload tag can, and for a serial run the two accountings
+    agree exactly (every message sent during a blocking query carries
+    that query's id).
+    """
 
     def __init__(self) -> None:
         self.messages_sent: Counter[str] = Counter()
         self.hops: Counter[str] = Counter()
         self.gauges: dict[str, float] = defaultdict(float)
+        self.query_messages: Counter[Hashable] = Counter()
 
-    def on_send(self, kind: str) -> None:
+    def on_send(self, kind: str, query: Hashable | None = None) -> None:
         self.messages_sent[kind] += 1
         self.hops[kind] += 1
+        if query is not None:
+            self.query_messages[query] += 1
 
     def bump(self, name: str, amount: float = 1.0) -> None:
         self.gauges[name] += amount
@@ -37,3 +50,4 @@ class StatsCollector:
         self.messages_sent.clear()
         self.hops.clear()
         self.gauges.clear()
+        self.query_messages.clear()

@@ -33,7 +33,10 @@ class TestRegistration:
         assert CLI_ALIASES["t6"] == "churn"
 
     def test_cli_workload_flags(self):
-        assert CLI_RUNNERS["churn"][1] == ("pairs", "epochs", "churn")
+        assert CLI_RUNNERS["churn"][1] == (
+            "pairs", "epochs", "churn", "mode", "des"
+        )
+        assert "churn_des" in EXPERIMENTS
 
 
 class TestEvaluatePattern:
@@ -84,6 +87,61 @@ class TestSweep:
         assert len(rows) == 1
         assert 0.0 <= rows[0]["delivered"] <= 1.0
         assert rows[0]["pairs"] > 0
+
+
+class TestDESVariant:
+    def des_spec(self, **overrides):
+        kwargs = dict(
+            experiment="churn_des",
+            shape=(6, 6, 6),
+            fault_counts=(3, 8),
+            trials=2,
+            seed=23,
+            params={"pairs": 8, "epochs": 3, "churn": 2},
+        )
+        kwargs.update(overrides)
+        return SweepSpec(**kwargs)
+
+    def test_counters_consistent_and_des_tracks_mcc(self):
+        from repro.experiments.exp_churn import evaluate_des_pattern
+
+        spec = self.des_spec()
+        task = plan_tasks(spec)[0]
+        record = evaluate_des_pattern(spec, task)
+        assert record["pairs"] == (
+            record["des_delivered"]
+            + record["des_infeasible"]
+            + record["des_stuck"]
+        )
+        assert record["pairs"] > 0 and record["events"] == 3
+        # The distributed walker and the centralized MCC service are
+        # both exact, so they must agree pair-for-pair under churn.
+        assert record["agree"] == record["pairs"]
+        assert record["rfb_delivered"] <= record["mcc_delivered"]
+
+    def test_shard_and_worker_invariance(self):
+        spec = self.des_spec()
+        base = run_sweep(spec, workers=1, shards=1)
+        for workers, shards in ((1, 3), (2, 2)):
+            other = run_sweep(spec, workers=workers, shards=shards)
+            assert other.to_csv() == base.to_csv()
+
+    def test_run_churn_des_wrapper(self):
+        table = run_churn(
+            (5, 5), [2], pairs=6, epochs=2, churn=1, trials=1, seed=3,
+            des=True,
+        )
+        row = table.rows[0]
+        assert {"des", "mcc", "rfb", "agree_des_mcc"} <= set(table.columns)
+        assert 0.0 <= row["des"] <= 1.0
+
+    def test_rfb_mode_runs(self):
+        table = run_churn(
+            (6, 6), [3], pairs=6, epochs=2, churn=1, trials=1, seed=5,
+            mode="rfb",
+        )
+        assert "model rfb" in table.title
+        assert 0.0 <= table.rows[0]["delivered"] <= 1.0
 
 
 class TestChurnSemantics:

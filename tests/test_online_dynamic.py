@@ -216,7 +216,7 @@ class TestOnlineRoutingService:
     @given(
         mask_strategy(),
         script_strategy(),
-        st.sampled_from(["mcc", "oracle", "blind"]),
+        st.sampled_from(["mcc", "rfb", "oracle", "blind"]),
         st.randoms(use_true_random=False),
     )
     def test_parity_with_cold_service(self, shape_mask, script, mode, pyrng):
@@ -275,9 +275,17 @@ class TestOnlineRoutingService:
         healed = online.route((0, 0), (3, 3))
         assert healed.delivered and healed.epoch == 2
 
-    def test_rfb_mode_rejected(self):
-        with pytest.raises(ValueError, match="rfb"):
-            OnlineRoutingService(np.zeros((3, 3), dtype=bool), mode="rfb")
+    def test_rfb_mode_served_incrementally(self):
+        # The baseline model now has a block-local incremental form:
+        # mode "rfb" serves routing across events instead of raising.
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        online = OnlineRoutingService(mask, mode="rfb")
+        assert online.route((0, 0), (4, 4)).delivered
+        online.inject([(2, 3)])
+        assert online.epoch == 1
+        result = online.route((0, 0), (4, 4))
+        assert result.epoch == 1
 
     def test_feasible_batch_tracks_events(self):
         mask = np.zeros((4, 4), dtype=bool)

@@ -119,3 +119,65 @@ class TestLabelledAdapter:
         o = Orientation((-1, 1), (4, 4))
         lab = rfb_labelled(mask, o)
         assert lab.status[2, 1] == FAULTY  # x flipped: 4-1-1 = 2
+
+
+class TestDynamicRFBState:
+    """Block-local incremental recompute == from-scratch rfb_unsafe."""
+
+    @given(st.integers(0, 2**32 - 1), st.booleans())
+    @settings(max_examples=12, deadline=None)
+    def test_matches_from_scratch_across_events(self, seed, three_d):
+        from repro.baselines.rfb import DynamicRFBState
+
+        rng = np.random.default_rng(seed)
+        shape = (6, 6, 6) if three_d else (9, 9)
+        live = random_mask(rng, shape, int(rng.integers(2, 12)))
+        state = DynamicRFBState(live)
+        for step in range(6):
+            pool = np.argwhere(~live if step % 2 == 0 else live)
+            if len(pool) == 0:
+                continue
+            k = min(int(rng.integers(1, 4)), len(pool))
+            picks = rng.choice(len(pool), size=k, replace=False)
+            cells = [tuple(int(v) for v in pool[i]) for i in picks]
+            kind = "inject" if step % 2 == 0 else "repair"
+            for c in cells:
+                live[c] = kind == "inject"
+            dirty, swept, full = state.apply(cells, kind)
+            want = rfb_unsafe(live)
+            assert np.array_equal(state.unsafe, want)
+            assert np.array_equal(state.open, ~want)
+            status = np.zeros(shape, dtype=np.int8)
+            status[want & ~live] = USELESS
+            status[live] = FAULTY
+            assert np.array_equal(state.status, status)
+
+    def test_inject_inside_block_is_free(self):
+        from repro.baselines.rfb import DynamicRFBState
+
+        live = mask_of_cells([(2, 3), (3, 2)], (8, 8))
+        state = DynamicRFBState(live)
+        assert state.unsafe[2, 2] and state.unsafe[3, 3]
+        live[2, 2] = True  # a fault appearing inside the block
+        dirty, swept, full = state.apply([(2, 2)], "inject")
+        assert dirty is None and swept == 0 and not full
+        assert state.status[2, 2] == FAULTY
+
+    def test_dirty_box_covers_every_change(self):
+        from repro.baselines.rfb import DynamicRFBState
+
+        rng = np.random.default_rng(5)
+        live = random_mask(rng, (10, 10), 8)
+        state = DynamicRFBState(live)
+        old = state.unsafe.copy()
+        pool = np.argwhere(~live)
+        cell = tuple(int(v) for v in pool[0])
+        live[cell] = True
+        dirty, _swept, full = state.apply([cell], "inject")
+        changed = np.argwhere(old != state.unsafe)
+        if len(changed) == 0:
+            assert dirty is None or full
+        else:
+            assert dirty is not None
+            for c in changed:
+                assert dirty.contains(tuple(int(v) for v in c))

@@ -182,6 +182,26 @@ class TestNetwork:
         with pytest.raises(ValueError):
             MeshNetwork(Mesh2D(3), np.zeros((2, 2), dtype=bool))
 
+    def test_repair_revives_node(self):
+        faults = mask_of_cells([(0, 1)], (2, 2))
+        net = MeshNetwork(Mesh2D(2), faults, _Echo)
+        net.repair((0, 1))
+        assert not net.is_faulty((0, 1))
+        net.start()
+        net.run_to_quiescence()
+        assert net.nodes[(0, 1)].store["got"] == ["PING"]
+
+    def test_query_tagged_sends_attributed(self):
+        net = MeshNetwork(Mesh2D(2), np.zeros((2, 2), dtype=bool))
+        net.transmit(Message("A", (0, 0), (0, 1), payload={"query": 7}))
+        net.transmit(Message("B", (0, 1), (0, 0), payload={"query": 7}))
+        net.transmit(Message("C", (0, 0), (1, 0), payload={"query": 9}))
+        net.transmit(Message("D", (1, 0), (0, 0)))
+        net.run_to_quiescence()
+        assert net.stats.query_messages[7] == 2
+        assert net.stats.query_messages[9] == 1
+        assert net.stats.total_messages == 4
+
 
 class TestStatsAndTrace:
     def test_stats_summary(self):

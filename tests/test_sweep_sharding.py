@@ -187,7 +187,9 @@ class TestPortedExperiments:
         assert set(CLI_ALIASES.values()) <= set(CLI_RUNNERS)
         for runner_path, workload_flags in CLI_RUNNERS.values():
             assert callable(_resolve(runner_path))
-            assert set(workload_flags) <= {"pairs", "queries", "epochs", "churn"}
+            assert set(workload_flags) <= {
+                "pairs", "queries", "epochs", "churn", "mode", "des"
+            }
 
 
 def journal_lines(path) -> list[str]:
