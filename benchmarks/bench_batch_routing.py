@@ -65,7 +65,7 @@ def run_comparison(
     t_solo = time.perf_counter() - t0
 
     mismatches = sum(
-        not results_identical(a, b) for a, b in zip(batched, solo)
+        not results_identical(a, b) for a, b in zip(batched, solo, strict=True)
     )
     return {
         "shape": shape,
@@ -89,7 +89,7 @@ def test_batch_routing_throughput(benchmark):
     service = RoutingService(mask, mode="mcc")
     results = benchmark(service.route_batch, batch_pairs)
     solo = [route_adaptive(mask, s, d) for s, d in batch_pairs]
-    assert all(results_identical(a, b) for a, b in zip(results, solo))
+    assert all(results_identical(a, b) for a, b in zip(results, solo, strict=True))
 
 
 def main() -> None:

@@ -103,7 +103,7 @@ def check_parity_and_t4(args) -> None:
     rng = np.random.default_rng(args.seed)
     shape = tuple(args.shape)
     t_serial = t_batch = 0.0
-    for trial in range(args.patterns):
+    for _trial in range(args.patterns):
         mask = random_fault_mask(shape, args.faults, rng=rng)
         lab = label_grid(mask).status
         pairs = sample_pairs(rng, lab, args.queries)
@@ -116,7 +116,7 @@ def check_parity_and_t4(args) -> None:
         batch, wants_b = concurrent_t4(shape, mask, pairs)
         t_batch += time.perf_counter() - t0
         if serial != batch:
-            for a, b in zip(serial, batch):
+            for a, b in zip(serial, batch, strict=True):
                 if a != b:
                     fail(f"session parity broken: serial {a} vs batch {b}")
         if not np.array_equal(wants_s, wants_b):

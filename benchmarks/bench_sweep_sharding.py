@@ -25,9 +25,15 @@ size the sweep; ``--workers`` the parallel process count;
 
 import argparse
 import os
+import subprocess
+import sys
+import tempfile
 import time
+from pathlib import Path
 
 from repro.parallel.sharding import SweepSpec, run_sweep
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def run_comparison(
@@ -74,6 +80,93 @@ def run_comparison(
     }
 
 
+def run_hashseed_invariance(
+    shape=(8, 8),
+    fault_counts=(4, 10),
+    trials=3,
+    seed=2005,
+    hash_seeds=(1, 4242),
+) -> dict:
+    """Run one small T1 sweep per ``PYTHONHASHSEED`` in fresh
+    interpreters; the merged tables, durable JSONL files, and
+    checkpoint journals must all be byte-identical.
+
+    Hash randomization perturbs ``str``/``tuple`` set and dict-order
+    edge cases that a same-process rerun can never expose — this is the
+    gate the ``repro-check`` D103 rule is ultimately about.
+    """
+    env_base = {k: v for k, v in os.environ.items() if k != "PYTHONHASHSEED"}
+    env_base["PYTHONPATH"] = str(_REPO_ROOT / "src") + (
+        os.pathsep + env_base["PYTHONPATH"] if env_base.get("PYTHONPATH") else ""
+    )
+    runs = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for hs in hash_seeds:
+            save = Path(tmp) / f"table-{hs}.jsonl"
+            ckpt = Path(tmp) / f"ckpt-{hs}.jsonl"
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro.parallel",
+                "t1",
+                "--shape",
+                *map(str, shape),
+                "--fault-counts",
+                *map(str, fault_counts),
+                "--trials",
+                str(trials),
+                "--seed",
+                str(seed),
+                "--save",
+                str(save),
+                "--checkpoint",
+                str(ckpt),
+                "--csv",
+            ]
+            proc = subprocess.run(
+                cmd,
+                capture_output=True,
+                text=True,
+                env=dict(env_base, PYTHONHASHSEED=str(hs)),
+                cwd=str(_REPO_ROOT),
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"sweep under PYTHONHASHSEED={hs} failed:\n{proc.stderr}"
+                )
+            runs.append(
+                {
+                    "hashseed": hs,
+                    "csv": proc.stdout,
+                    "table_bytes": save.read_bytes(),
+                    "checkpoint_bytes": ckpt.read_bytes(),
+                }
+            )
+    first = runs[0]
+    return {
+        "hash_seeds": tuple(hash_seeds),
+        "csv_identical": all(r["csv"] == first["csv"] for r in runs),
+        "table_identical": all(
+            r["table_bytes"] == first["table_bytes"] for r in runs
+        ),
+        "checkpoint_identical": all(
+            r["checkpoint_bytes"] == first["checkpoint_bytes"] for r in runs
+        ),
+        "rows": len(first["table_bytes"].splitlines()) - 1,
+    }
+
+
+def test_sweep_hashseed_invariance():
+    """T1 results must not depend on interpreter hash randomization."""
+    stats = run_hashseed_invariance()
+    assert stats["rows"] > 0
+    assert stats["csv_identical"], "rendered CSV differs across hash seeds"
+    assert stats["table_identical"], "saved JSONL differs across hash seeds"
+    assert stats["checkpoint_identical"], (
+        "checkpoint journals differ across hash seeds"
+    )
+
+
 def test_sweep_sharding_smoke(benchmark):
     """Shard invariance + a tracked timing of the 2-shard in-process path."""
     from benchmarks.conftest import emit
@@ -117,7 +210,25 @@ def main() -> None:
         help="fail when the sharded speedup drops below this factor "
         "(only enforced when at least 2 CPUs are available)",
     )
+    parser.add_argument(
+        "--hashseed-check",
+        action="store_true",
+        help="only run the PYTHONHASHSEED invariance gate (small T1 "
+        "sweep twice under different hash seeds; outputs must be "
+        "byte-identical)",
+    )
     args = parser.parse_args()
+    if args.hashseed_check:
+        stats = run_hashseed_invariance()
+        print(
+            f"hashseed invariance  seeds={stats['hash_seeds']}  "
+            f"rows={stats['rows']}"
+        )
+        for key in ("csv_identical", "table_identical", "checkpoint_identical"):
+            print(f"  {key:21s}: {stats[key]}")
+            assert stats[key], f"{key} failed across PYTHONHASHSEED values"
+        print("  byte-identical under hash randomization")
+        return
     stats = run_comparison(
         shape=tuple(args.shape),
         fault_counts=tuple(args.fault_counts),

@@ -30,7 +30,7 @@ def main() -> None:
     print(f"matches centralized labelling: {same}\n")
 
     print("Identified MCC sections (two-head-on ring walks):")
-    for (plane, corner), shape in sorted(pipe.identified_sections().items()):
+    for (_plane, corner), shape in sorted(pipe.identified_sections().items()):
         print(f"  corner {corner}: {sorted(shape)}")
 
     print("\nBoundary records at (3,1) (wall of the staircase MCC):")

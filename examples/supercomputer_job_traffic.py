@@ -42,7 +42,7 @@ def main() -> None:
             pairs.append(pair)
     stats = {"mcc": 0, "blind": 0, "ecube": 0, "feasible": 0}
     hops_total = 0
-    for (src, dst), result in zip(pairs, service.route_batch(pairs)):
+    for (src, dst), result in zip(pairs, service.route_batch(pairs), strict=True):
         if result.feasible:
             stats["feasible"] += 1
         if result.delivered and result.is_minimal():

@@ -1,0 +1,62 @@
+"""Correctness tooling: the ``repro-check`` linter + runtime sanitizers.
+
+PRs 1–5 turned the paper reproduction into a concurrent system whose
+guarantees — byte-identical tables for any shard/worker count,
+epoch-consistent online routing, session-isolated DES walks, frozen
+content-addressed caches — were conventions enforced only by the tests
+that happened to exercise them.  This subsystem machine-checks them:
+
+* :mod:`repro.analysis.lint` — ``python -m repro.analysis.lint src
+  tests benchmarks``: AST rules with stable IDs (D1xx determinism,
+  C2xx cache discipline, P3xx multiprocessing discipline), per-line
+  justified suppressions, and a committed whitelist.
+* :mod:`repro.analysis.sanitize` — runtime sanitizers enabled by
+  ``REPRO_SANITIZE=1``: a frozen-cache write barrier, a DES
+  session-isolation shadow, and an online-epoch verifier.
+
+See DESIGN.md "Checked invariants" for the rule-by-rule rationale.
+"""
+
+from importlib import import_module
+
+# Lazy (PEP 562) re-exports: importing the package must not import the
+# submodules, or ``python -m repro.analysis.lint`` would see the module
+# in ``sys.modules`` before runpy executes it and warn about the
+# double import.
+_EXPORTS = {
+    "Finding": "repro.analysis.lint",
+    "lint_paths": "repro.analysis.lint",
+    "lint_source": "repro.analysis.lint",
+    "role_of": "repro.analysis.lint",
+    "RULES": "repro.analysis.rules",
+    "Rule": "repro.analysis.rules",
+    "Whitelist": "repro.analysis.suppressions",
+    "WhitelistError": "repro.analysis.suppressions",
+    "SanitizerError": "repro.analysis.sanitize",
+    "CacheMutationError": "repro.analysis.sanitize",
+    "SessionBleedError": "repro.analysis.sanitize",
+    "TieBreakHazardError": "repro.analysis.sanitize",
+    "EpochViolationError": "repro.analysis.sanitize",
+    "DigestGuardedCache": "repro.analysis.sanitize",
+    "enabled": "repro.analysis.sanitize",
+    "install_cache_barrier": "repro.analysis.sanitize",
+    "sanitize_network": "repro.analysis.sanitize",
+    "sanitize_online_service": "repro.analysis.sanitize",
+    "value_digest": "repro.analysis.sanitize",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — alias for the ``repro-check`` linter."""
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Suppression plumbing for ``repro-check``: inline disables + whitelist.
+
+Two suppression channels, both requiring a justification:
+
+* **Inline**, for one line::
+
+      faults = set(cells)
+      order = list(faults)  # repro-check: disable=D103 -- sink is a sum
+
+  The comment must name the rule(s) and carry a ``-- reason``; a
+  disable without a reason does not suppress anything and is itself
+  reported as **S001**.
+
+* **Whitelist file** (committed, default ``repro-check.allow`` at the
+  project root), for findings that are legitimate by construction and
+  too broad for per-line comments.  One entry per line::
+
+      # path-glob        RULE   justification
+      src/repro/viz/*.py D103   render order is cosmetic, never persisted
+
+  The glob matches the file's ``/``-separated path relative to the
+  lint root.  Entries with fewer than three columns are hard errors —
+  an unjustified whitelist line would silently void the gate.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+_INLINE = re.compile(
+    r"#\s*repro-check:\s*disable=([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass
+class InlineSuppressions:
+    """Per-line rule disables parsed from one file's source."""
+
+    #: line number -> set of rule IDs disabled there (justified only).
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: line numbers of disables missing a ``-- reason`` (S001 findings).
+    unjustified: list[tuple[int, str]] = field(default_factory=list)
+
+
+def parse_inline(source: str) -> InlineSuppressions:
+    """Scan source for ``# repro-check: disable=...`` comments."""
+    out = InlineSuppressions()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _INLINE.search(line)
+        if m is None:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        if m.group("reason"):
+            out.by_line.setdefault(lineno, set()).update(rules)
+        else:
+            out.unjustified.append((lineno, ",".join(sorted(rules))))
+    return out
+
+
+class WhitelistError(ValueError):
+    """The whitelist file itself is malformed (treated as a lint failure)."""
+
+
+@dataclass
+class WhitelistEntry:
+    pattern: str
+    rule_id: str
+    justification: str
+    lineno: int
+    used: bool = False
+
+
+class Whitelist:
+    """Committed project-level suppressions with mandatory justification."""
+
+    def __init__(self, entries: list[WhitelistEntry] | None = None, path: str = ""):
+        self.entries = entries or []
+        self.path = path
+
+    @classmethod
+    def load(cls, path) -> "Whitelist":
+        entries: list[WhitelistEntry] = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split(None, 2)
+                if len(parts) < 3:
+                    raise WhitelistError(
+                        f"{path}:{lineno}: whitelist entry needs "
+                        "'<path-glob> <RULE> <justification>'; an entry "
+                        "without a justification is not accepted"
+                    )
+                pattern, rule_id, justification = parts
+                entries.append(
+                    WhitelistEntry(pattern, rule_id, justification, lineno)
+                )
+        return cls(entries, path=str(path))
+
+    def allows(self, rel_path: str, rule_id: str) -> bool:
+        """True when some entry covers (file, rule); marks it used."""
+        posix = str(PurePosixPath(*rel_path.split("\\"))) if "\\" in rel_path else rel_path
+        hit = False
+        for entry in self.entries:
+            if entry.rule_id == rule_id and fnmatch.fnmatch(posix, entry.pattern):
+                entry.used = True
+                hit = True
+        return hit
+
+    def unused(self) -> list[WhitelistEntry]:
+        """Entries that matched nothing (reported so the file stays honest)."""
+        return [e for e in self.entries if not e.used]

@@ -206,8 +206,8 @@ class DynamicRFBState:
             sl = region.slices()
             local_blocks = [
                 Box(
-                    tuple(a + o for a, o in zip(b.lo, region.lo)),
-                    tuple(a + o for a, o in zip(b.hi, region.lo)),
+                    tuple(a + o for a, o in zip(b.lo, region.lo, strict=True)),
+                    tuple(a + o for a, o in zip(b.hi, region.lo, strict=True)),
                 )
                 for b in rfb_blocks(self.fault_mask[sl])
             ]
@@ -227,7 +227,7 @@ class DynamicRFBState:
             new_sub[
                 tuple(
                     slice(a - o, c - o + 1)
-                    for a, c, o in zip(b.lo, b.hi, region.lo)
+                    for a, c, o in zip(b.lo, b.hi, region.lo, strict=True)
                 )
             ] = True
         self.unsafe[sl] = new_sub
@@ -236,8 +236,8 @@ class DynamicRFBState:
         changed = np.argwhere(old_sub != new_sub)
         dirty = None
         if len(changed):
-            lo = tuple(int(v) + o for v, o in zip(changed.min(axis=0), region.lo))
-            hi = tuple(int(v) + o for v, o in zip(changed.max(axis=0), region.lo))
+            lo = tuple(int(v) + o for v, o in zip(changed.min(axis=0), region.lo, strict=True))
+            hi = tuple(int(v) + o for v, o in zip(changed.max(axis=0), region.lo, strict=True))
             dirty = Box(lo, hi)
         return dirty, region.volume, False
 

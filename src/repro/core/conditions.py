@@ -24,10 +24,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.components import MCCSet, extract_mccs
-from repro.core.labelling import LabelledGrid, label_grid
+from repro.core.components import MCCSet
+from repro.core.labelling import LabelledGrid
 from repro.core.model_cache import cached_class_assets
-from repro.core.walls import Wall, build_walls
+from repro.core.walls import Wall
 from repro.mesh.orientation import Orientation
 
 
@@ -83,7 +83,7 @@ def minimal_path_exists_lemma1(
     """
     s = tuple(int(c) for c in source)
     d = tuple(int(c) for c in dest)
-    if any(a > b for a, b in zip(s, d)):
+    if any(a > b for a, b in zip(s, d, strict=True)):
         raise ValueError(f"not in canonical frame: source {s} !<= dest {d}")
     if labelled.status[s] != 0 or labelled.status[d] != 0:
         raise ValueError(
@@ -108,9 +108,7 @@ def minimal_path_exists_theorem(
     """
     fault_mask = np.asarray(fault_mask, dtype=bool)
     orientation = Orientation.for_pair(source, dest, fault_mask.shape)
-    labelled = label_grid(fault_mask, orientation)
-    mccs = extract_mccs(labelled)
-    walls = build_walls(mccs)
+    labelled, _, walls = cached_class_assets(fault_mask, orientation)
     return minimal_path_exists_lemma1(
         walls,
         orientation.map_coord(source),

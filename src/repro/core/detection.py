@@ -154,7 +154,7 @@ def detect_canonical(
     source = tuple(int(c) for c in source)
     dest = tuple(int(c) for c in dest)
     ndim = unsafe.ndim
-    if any(s > d for s, d in zip(source, dest)):
+    if any(s > d for s, d in zip(source, dest, strict=True)):
         raise ValueError(f"not in canonical frame: source {source} !<= dest {dest}")
     if unsafe[source] or unsafe[dest]:
         raise ValueError("detection requires safe source and destination")

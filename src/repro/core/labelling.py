@@ -119,17 +119,17 @@ def closure_region(
     ndim = blocked.ndim
     lo = tuple(int(c) for c in lo)
     hi = tuple(int(c) for c in hi)
-    if any(a > b for a, b in zip(lo, hi)):
+    if any(a > b for a, b in zip(lo, hi, strict=True)):
         return 0
     # Extend one layer toward the neighbor side (clipped to the mesh) so
     # core cells at the box face read true frozen values instead of the
     # border rule; the extra layer itself is never written.
     if sign > 0:
         ext = tuple(
-            slice(a, min(b + 2, k)) for a, b, k in zip(lo, hi, blocked.shape)
+            slice(a, min(b + 2, k)) for a, b, k in zip(lo, hi, blocked.shape, strict=True)
         )
     else:
-        ext = tuple(slice(max(a - 1, 0), b + 1) for a, b in zip(lo, hi))
+        ext = tuple(slice(max(a - 1, 0), b + 1) for a, b in zip(lo, hi, strict=True))
     view = blocked[ext]
     core = np.ones(view.shape, dtype=bool)
     for axis in range(ndim):

@@ -49,9 +49,37 @@ def _freeze(labelled: LabelledGrid) -> LabelledGrid:
     return labelled
 
 
+def _freeze_assets(mccs: MCCSet, walls: list[Wall]) -> None:
+    """Pin every array a cached (labelled, mccs, walls) entry exposes.
+
+    Consumers hold these for the lifetime of a pattern; an in-place
+    write through any of them would corrupt *other* callers' results
+    for the same mask digest.  ``DynamicFaultModel``
+    (:mod:`repro.online.dynamic_model`) is the one sanctioned
+    mutable-alias holder — it never goes through this cache, building
+    its own label arrays so it can relabel in place per epoch.
+    """
+    mccs.labels.setflags(write=False)
+    for mcc in mccs.mccs:
+        mcc.cells.setflags(write=False)
+    for wall in walls:
+        wall.forbidden.setflags(write=False)
+        wall.critical.setflags(write=False)
+        for records in wall.records.values():
+            records.setflags(write=False)
+
+
+def _resolve_orientation(
+    fault_mask: np.ndarray, orientation: Orientation | None
+) -> Orientation:
+    if orientation is None:
+        return Orientation.identity(fault_mask.shape)
+    return orientation
+
+
 def cached_labelled(
     fault_mask: np.ndarray,
-    orientation: Orientation,
+    orientation: Orientation | None = None,
     labeller: Callable[..., LabelledGrid] = label_grid,
     kind: str = "mcc",
     digest: bytes | None = None,
@@ -61,7 +89,10 @@ def cached_labelled(
     ``digest`` lets callers that label many classes of one mask hash it
     once; omitted, it is computed here.  ``kind`` namespaces different
     labellers ("mcc", "rfb", ...) so their entries never collide.
+    ``orientation`` defaults to the identity class, matching
+    :func:`~repro.core.labelling.label_grid`.
     """
+    orientation = _resolve_orientation(fault_mask, orientation)
     if digest is None:
         digest = mask_digest(fault_mask)
     key = (digest, orientation.signs, kind, "labelled")
@@ -75,7 +106,7 @@ def cached_labelled(
 
 def cached_class_assets(
     fault_mask: np.ndarray,
-    orientation: Orientation,
+    orientation: Orientation | None = None,
     labeller: Callable[..., LabelledGrid] = label_grid,
     kind: str = "mcc",
     digest: bytes | None = None,
@@ -86,6 +117,7 @@ def cached_class_assets(
     labelled grid is shared with :func:`cached_labelled` entries via the
     same digest, so mixed consumers still label once.
     """
+    orientation = _resolve_orientation(fault_mask, orientation)
     if digest is None:
         digest = mask_digest(fault_mask)
     key = (digest, orientation.signs, kind, "assets")
@@ -97,6 +129,7 @@ def cached_class_assets(
     )
     mccs = extract_mccs(labelled)
     walls = build_walls(mccs)
+    _freeze_assets(mccs, walls)
     assets = (labelled, mccs, walls)
     LABELLING_CACHE.put(key, assets)
     return assets

@@ -202,7 +202,7 @@ class BoundaryMixin(NodeProcess):
 
     def _find_local_shape(self, plane, cell: Coord):
         """Shape of the section (same plane family) containing ``cell``."""
-        for (p, corner), shape in self.store.get("shapes", {}).items():
+        for (p, _corner), shape in self.store.get("shapes", {}).items():
             if tuple(p) == plane and tuple(cell) in shape:
                 return shape
         return None

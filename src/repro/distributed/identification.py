@@ -219,7 +219,7 @@ class IdentificationMixin(NodeProcess):
             return
         prev_contacts = {tuple(c) for c in msg.payload.get("contact", [])}
         if prev_contacts and not any(
-            all(abs(a - b) <= 1 for a, b in zip(mine_c, prev_c))
+            all(abs(a - b) <= 1 for a, b in zip(mine_c, prev_c, strict=True))
             for mine_c in contacts
             for prev_c in prev_contacts
         ):

@@ -58,6 +58,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 from scipy import ndimage
 
+from repro.analysis.sanitize import maybe_sanitize_network
 from repro.core.labelling import SAFE
 from repro.distributed.boundary_proto import BoundaryMixin
 from repro.distributed.identification import IdentificationMixin
@@ -135,6 +136,7 @@ class DistributedMCCPipeline:
         #: build, +1 per applied event.
         self.epoch = 0
         self._inflight: list[QueryHandle] = []
+        maybe_sanitize_network(self.net)
 
     @property
     def fault_mask(self) -> np.ndarray:
@@ -181,7 +183,7 @@ class DistributedMCCPipeline:
             self.build()
         source = tuple(int(c) for c in source)
         dest = tuple(int(c) for c in dest)
-        if any(s > d for s, d in zip(source, dest)):
+        if any(s > d for s, d in zip(source, dest, strict=True)):
             raise ValueError(f"canonical frame required: {source} !<= {dest}")
         query_id = next(self._query_ids)
         handle = QueryHandle(
@@ -430,7 +432,7 @@ class DistributedMCCPipeline:
         pre_status: np.ndarray,
         post_status: np.ndarray,
         changed: set[Coord],
-        lost_owners: set[tuple] = frozenset(),
+        lost_owners: set[tuple] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """The re-identification scope of one event (mesh-frame masks).
 
@@ -467,7 +469,7 @@ class DistributedMCCPipeline:
             for _plane, corner in lost_owners:
                 window = tuple(
                     slice(max(0, v - 1), min(k, v + 2))
-                    for v, k in zip(corner, shape)
+                    for v, k in zip(corner, shape, strict=True)
                 )
                 near_changed[window] = True
         touched = np.unique(labels[near_changed & unsafe])
@@ -581,7 +583,7 @@ class DistributedMCCPipeline:
     def identified_sections(self) -> dict[tuple, frozenset]:
         """(plane, corner) -> shape, from every completed corner."""
         out: dict[tuple, frozenset] = {}
-        for coord, marks in self.net.gather("corner_of", default=[]).items():
+        for _coord, marks in self.net.gather("corner_of", default=[]).items():
             for key, shape in marks or []:
                 out[key] = shape
         return out

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Mapping, Sequence
 
 from repro.baselines.rfb import rfb_unsafe
-from repro.core.labelling import label_grid
+from repro.core.model_cache import cached_labelled
 from repro.experiments.workloads import random_fault_mask
 from repro.parallel.sharding import PatternTask, SweepSpec, legacy_rng, run_sweep
 from repro.util.records import ResultTable
@@ -89,7 +89,7 @@ def run_rfb_variants(
 def evaluate_mesh4d_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
     """A4: MCC-captured non-faulty nodes in one (typically 4-D) pattern."""
     mask = random_fault_mask(spec.shape, task.count, rng=_mask_replay(spec, task))
-    labelled = label_grid(mask)
+    labelled = cached_labelled(mask)
     return {"mcc": int(labelled.unsafe_mask.sum() - task.count)}
 
 

@@ -154,8 +154,8 @@ def evaluate_des_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
             if pair is None:
                 continue
             a, b = pair
-            s = tuple(int(min(x, y)) for x, y in zip(a, b))
-            d = tuple(int(max(x, y)) for x, y in zip(a, b))
+            s = tuple(int(min(x, y)) for x, y in zip(a, b, strict=True))
+            d = tuple(int(max(x, y)) for x, y in zip(a, b, strict=True))
             batch.append((s, d))
             pipe.submit(s, d, strict=False)
             svc_mcc.submit(s, d)
@@ -186,7 +186,7 @@ def evaluate_des_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
         rfb_results = list(svc_rfb.take_completed().values())
         if not (len(des_results) == len(mcc_results) == len(rfb_results)):
             raise RuntimeError("backends resolved different batch sizes")
-        for des, mcc, rfb in zip(des_results, mcc_results, rfb_results):
+        for des, mcc, rfb in zip(des_results, mcc_results, rfb_results, strict=True):
             if des["epoch"] != submitted_at:
                 raise RuntimeError(
                     "session answered at a different epoch than submitted"

@@ -40,8 +40,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.labelling import label_grid
-from repro.core.model_cache import cached_routing_service
+from repro.core.model_cache import cached_labelled, cached_routing_service
 from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask
 from repro.mesh.coords import manhattan
@@ -74,7 +73,7 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
     record: dict[str, float] = {name: 0 for name in _COUNTERS}
     record["msg_cost"] = 0.0
     mask = random_fault_mask(spec.shape, task.count, rng=rng)
-    safe = label_grid(mask).safe_mask
+    safe = cached_labelled(mask).safe_mask
     if not safe.any():
         return record
     pipe = DistributedMCCPipeline(Mesh(spec.shape), mask).build()
@@ -92,7 +91,7 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
         pipe.submit(s, d)
     results = pipe.drain()
     statuses = []
-    for (s, d), result in zip(batch, results):
+    for (s, d), result in zip(batch, results, strict=True):
         record["msg_cost"] += result["msgs"]
         status = result["status"]
         statuses.append(status)
@@ -110,7 +109,7 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
         record["oracle_ok"] += int(wants.sum())
         record["agree"] += sum(
             (status == "delivered") == bool(want)
-            for status, want in zip(statuses, wants)
+            for status, want in zip(statuses, wants, strict=True)
         )
     return record
 

@@ -100,7 +100,7 @@ def _candidate_sets_match(
                 oracle_cands.add(axis)
         if mcc_cands != oracle_cands:
             return False
-        for axis in mcc_cands:
+        for axis in sorted(mcc_cands):
             nxt = list(pos)
             nxt[axis] += 1
             nxt = tuple(nxt)

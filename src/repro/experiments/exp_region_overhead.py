@@ -37,7 +37,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.baselines.rfb import rfb_unsafe
-from repro.core.labelling import label_grid
+from repro.core.model_cache import cached_labelled
 from repro.experiments.workloads import clustered_fault_mask, random_fault_mask
 from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
 from repro.routing.batch import RoutingService
@@ -55,7 +55,9 @@ def region_overhead_once(
     the grid a second time; with no service the grid is labelled
     directly (no wall construction).
     """
-    labelled = service.labelled() if service is not None else label_grid(fault_mask)
+    labelled = (
+        service.labelled() if service is not None else cached_labelled(fault_mask)
+    )
     mcc_nonfaulty = int(labelled.unsafe_mask.sum() - fault_mask.sum())
     rfb = rfb_unsafe(fault_mask)
     rfb_nonfaulty = int(rfb.sum() - fault_mask.sum())

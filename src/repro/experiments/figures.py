@@ -13,7 +13,7 @@ import numpy as np
 from repro.baselines.rfb import rfb_labelled
 from repro.core.components import extract_mccs
 from repro.core.detection import detect_canonical
-from repro.core.labelling import label_grid
+from repro.core.model_cache import cached_labelled
 from repro.core.walls import build_walls
 from repro.mesh.regions import mask_of_cells
 from repro.routing.engine import AdaptiveRouter
@@ -32,7 +32,7 @@ FIG1_FAULTS = [(3, 6), (4, 5), (5, 4), (6, 3), (3, 3)]
 def figure1(shape: tuple[int, int] = (10, 10)) -> str:
     """RFB vs MCC regions for a 2-D staircase fault pattern (Fig. 1)."""
     mask = mask_of_cells(FIG1_FAULTS, shape)
-    mcc = label_grid(mask)
+    mcc = cached_labelled(mask)
     rfb = rfb_labelled(mask)
     mcc_nonfaulty = int(mcc.unsafe_mask.sum() - mask.sum())
     rfb_nonfaulty = int(rfb.unsafe_mask.sum() - mask.sum())
@@ -49,7 +49,7 @@ def figure1(shape: tuple[int, int] = (10, 10)) -> str:
 def figure5(shape: tuple[int, int, int] = (10, 10, 10)) -> str:
     """The paper's 3-D example: labelling, hole, and the two MCCs."""
     mask = mask_of_cells(FIG5_FAULTS, shape)
-    labelled = label_grid(mask)
+    labelled = cached_labelled(mask)
     mccs = extract_mccs(labelled, connectivity=2)  # the paper's grouping
     lines = [
         "Figure 5(b): MCCs for the 8-fault pattern.",
@@ -70,7 +70,7 @@ def figure3_walls(shape: tuple[int, int] = (12, 12)) -> str:
     """Boundary construction with chain merging (Fig. 3 style)."""
     faults = [(6, 7), (7, 6), (3, 3), (4, 2)]
     mask = mask_of_cells(faults, shape)
-    labelled = label_grid(mask)
+    labelled = cached_labelled(mask)
     mccs = extract_mccs(labelled)
     walls = build_walls(mccs)
     overlays = {}
@@ -98,7 +98,7 @@ def figure4_7_detection(three_d: bool = False) -> str:
         no = mask_of_cells([(0, 6), (1, 5), (2, 4)], (9, 9))
         out = []
         for name, mask, dest in (("YES", yes, (8, 8)), ("NO", no, (2, 8))):
-            labelled = label_grid(mask)
+            labelled = cached_labelled(mask)
             report = detect_canonical(labelled.unsafe_mask, (0, 0), dest)
             out.append(
                 f"Figure 4 ({name} case): feasible={report.feasible} "
@@ -107,7 +107,7 @@ def figure4_7_detection(three_d: bool = False) -> str:
             )
         return "\n\n".join(out)
     yes = mask_of_cells([(3, 3, 3), (3, 3, 4), (3, 4, 3)], (7, 7, 7))
-    labelled = label_grid(yes)
+    labelled = cached_labelled(yes)
     report = detect_canonical(labelled.unsafe_mask, (0, 0, 0), (6, 6, 6))
     return (
         f"Figure 7 (3-D feasibility): feasible={report.feasible} "
@@ -124,7 +124,7 @@ def figure8_routing() -> str:
         result = router.route(source, dest)
         out.append(
             f"  {source} -> {dest}: delivered={result.delivered} "
-            f"hops={result.hops} (Manhattan {sum(abs(a-b) for a, b in zip(source, dest))})"
+            f"hops={result.hops} (Manhattan {sum(abs(a-b) for a, b in zip(source, dest, strict=True))})"
         )
         out.append("  path: " + " ".join(str(c) for c in result.path))
     return "\n".join(out)

@@ -67,7 +67,7 @@ def clustered_fault_mask(
         center = centers[int(rng.integers(len(centers)))]
         coord = tuple(
             int(np.clip(round(rng.normal(c, spread)), 0, k - 1))
-            for c, k in zip(center, shape)
+            for c, k in zip(center, shape, strict=True)
         )
         if coord in protected or mask[coord]:
             continue

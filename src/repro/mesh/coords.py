@@ -77,12 +77,12 @@ def manhattan(a: Sequence[int], b: Sequence[int]) -> int:
     """The paper's distance D(u, v) = sum of per-axis absolute deltas."""
     if len(a) != len(b):
         raise ValueError(f"dimension mismatch: {len(a)} vs {len(b)}")
-    return sum(abs(x - y) for x, y in zip(a, b))
+    return sum(abs(x - y) for x, y in zip(a, b, strict=True))
 
 
 def neighbors(coord: Sequence[int], shape: Sequence[int]) -> Iterator[Coord]:
     """In-mesh neighbors of ``coord`` for a mesh of the given ``shape``."""
-    for axis, (c, k) in enumerate(zip(coord, shape)):
+    for axis, (c, k) in enumerate(zip(coord, shape, strict=True)):
         if c + 1 < k:
             yield step(coord, Direction(axis, +1))
         if c - 1 >= 0:
@@ -94,7 +94,7 @@ def direction_between(a: Sequence[int], b: Sequence[int]) -> Direction:
 
     Raises ``ValueError`` when the two coordinates are not mesh-adjacent.
     """
-    diffs = [(axis, y - x) for axis, (x, y) in enumerate(zip(a, b)) if x != y]
+    diffs = [(axis, y - x) for axis, (x, y) in enumerate(zip(a, b, strict=True)) if x != y]
     if len(diffs) != 1 or abs(diffs[0][1]) != 1:
         raise ValueError(f"{tuple(a)} and {tuple(b)} are not mesh neighbors")
     axis, delta = diffs[0]
@@ -108,8 +108,8 @@ def is_monotone_path(path: Sequence[Sequence[int]]) -> bool:
     component-wise >= s) is exactly a monotone path; this predicate backs
     the router's minimality assertions.
     """
-    for a, b in zip(path, path[1:]):
-        diffs = [y - x for x, y in zip(a, b)]
+    for a, b in zip(path, path[1:], strict=False):
+        diffs = [y - x for x, y in zip(a, b, strict=True)]
         nonzero = [d for d in diffs if d != 0]
         if len(nonzero) != 1 or nonzero[0] != 1:
             return False

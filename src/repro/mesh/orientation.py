@@ -56,7 +56,7 @@ class Orientation:
         labelling for the + class is conservative there).
         """
         signs = tuple(
-            -1 if d < s else 1 for s, d in zip(source, dest)
+            -1 if d < s else 1 for s, d in zip(source, dest, strict=True)
         )
         return Orientation(signs, tuple(shape))
 
@@ -94,7 +94,7 @@ class Orientation:
         """Map a mesh coordinate into canonical-frame coordinates."""
         return tuple(
             (k - 1 - c) if s < 0 else c
-            for c, s, k in zip(coord, self.signs, self.shape)
+            for c, s, k in zip(coord, self.signs, self.shape, strict=True)
         )
 
     def unmap_coord(self, coord: Sequence[int]) -> Coord:

@@ -27,7 +27,7 @@ class Box:
     def __post_init__(self) -> None:
         if len(self.lo) != len(self.hi):
             raise ValueError("lo and hi must have the same dimension")
-        for lo, hi in zip(self.lo, self.hi):
+        for lo, hi in zip(self.lo, self.hi, strict=True):
             if lo > hi:
                 raise ValueError(f"empty box: lo {self.lo} > hi {self.hi}")
 
@@ -36,8 +36,8 @@ class Box:
     @staticmethod
     def spanning(a: Sequence[int], b: Sequence[int]) -> "Box":
         """Smallest box containing both points (the RMP of a routing)."""
-        lo = tuple(min(x, y) for x, y in zip(a, b))
-        hi = tuple(max(x, y) for x, y in zip(a, b))
+        lo = tuple(min(x, y) for x, y in zip(a, b, strict=True))
+        hi = tuple(max(x, y) for x, y in zip(a, b, strict=True))
         return Box(lo, hi)
 
     @staticmethod
@@ -57,7 +57,7 @@ class Box:
     @property
     def extents(self) -> tuple[int, ...]:
         """Number of lattice points per axis."""
-        return tuple(hi - lo + 1 for lo, hi in zip(self.lo, self.hi))
+        return tuple(hi - lo + 1 for lo, hi in zip(self.lo, self.hi, strict=True))
 
     @property
     def volume(self) -> int:
@@ -66,32 +66,32 @@ class Box:
 
     def contains(self, coord: Sequence[int]) -> bool:
         return len(coord) == self.ndim and all(
-            lo <= c <= hi for c, lo, hi in zip(coord, self.lo, self.hi)
+            lo <= c <= hi for c, lo, hi in zip(coord, self.lo, self.hi, strict=True)
         )
 
     def contains_box(self, other: "Box") -> bool:
         return all(
             sl <= ol and oh <= sh
-            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi, strict=True)
         )
 
     def intersects(self, other: "Box") -> bool:
         return all(
             max(sl, ol) <= min(sh, oh)
-            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi, strict=True)
         )
 
     def intersection(self, other: "Box") -> "Box | None":
-        lo = tuple(max(sl, ol) for sl, ol in zip(self.lo, other.lo))
-        hi = tuple(min(sh, oh) for sh, oh in zip(self.hi, other.hi))
-        if any(a > b for a, b in zip(lo, hi)):
+        lo = tuple(max(sl, ol) for sl, ol in zip(self.lo, other.lo, strict=True))
+        hi = tuple(min(sh, oh) for sh, oh in zip(self.hi, other.hi, strict=True))
+        if any(a > b for a, b in zip(lo, hi, strict=True)):
             return None
         return Box(lo, hi)
 
     def union_box(self, other: "Box") -> "Box":
         """Smallest box containing both (used by RFB merging)."""
-        lo = tuple(min(sl, ol) for sl, ol in zip(self.lo, other.lo))
-        hi = tuple(max(sh, oh) for sh, oh in zip(self.hi, other.hi))
+        lo = tuple(min(sl, ol) for sl, ol in zip(self.lo, other.lo, strict=True))
+        hi = tuple(max(sh, oh) for sh, oh in zip(self.hi, other.hi, strict=True))
         return Box(lo, hi)
 
     def inflate(self, margin: int) -> "Box":
@@ -111,12 +111,12 @@ class Box:
     def cells(self) -> Iterator[Coord]:
         """Iterate all lattice points (row-major)."""
         return itertools.product(
-            *(range(lo, hi + 1) for lo, hi in zip(self.lo, self.hi))
+            *(range(lo, hi + 1) for lo, hi in zip(self.lo, self.hi, strict=True))
         )
 
     def slices(self) -> tuple[slice, ...]:
         """Numpy basic-indexing slices selecting the box in a grid."""
-        return tuple(slice(lo, hi + 1) for lo, hi in zip(self.lo, self.hi))
+        return tuple(slice(lo, hi + 1) for lo, hi in zip(self.lo, self.hi, strict=True))
 
     def mask(self, shape: Sequence[int]) -> np.ndarray:
         """Boolean grid of ``shape`` that is True inside (clipped) box."""
@@ -127,7 +127,7 @@ class Box:
         return out
 
     def __repr__(self) -> str:
-        spans = ", ".join(f"{lo}:{hi}" for lo, hi in zip(self.lo, self.hi))
+        spans = ", ".join(f"{lo}:{hi}" for lo, hi in zip(self.lo, self.hi, strict=True))
         return f"Box[{spans}]"
 
 

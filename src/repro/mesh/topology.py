@@ -44,7 +44,7 @@ class Mesh:
     def contains(self, coord: Sequence[int]) -> bool:
         """True iff ``coord`` addresses a node of this mesh."""
         return len(coord) == self.ndim and all(
-            0 <= c < k for c, k in zip(coord, self.shape)
+            0 <= c < k for c, k in zip(coord, self.shape, strict=True)
         )
 
     def require(self, coord: Sequence[int], name: str = "coord") -> Coord:
@@ -56,7 +56,7 @@ class Mesh:
         """Number of in-mesh neighbors (2n interior, less at faces)."""
         coord = self.require(coord)
         return sum(
-            (c + 1 < k) + (c - 1 >= 0) for c, k in zip(coord, self.shape)
+            (c + 1 < k) + (c - 1 >= 0) for c, k in zip(coord, self.shape, strict=True)
         )
 
     # -- iteration -------------------------------------------------------

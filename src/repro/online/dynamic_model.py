@@ -151,7 +151,7 @@ class _DynamicClass:
 
     def _refresh_box(self, lo: Sequence[int], hi: Sequence[int]) -> None:
         """Recompose status/open/unsafe from the masks inside a box."""
-        sl = tuple(slice(a, b + 1) for a, b in zip(lo, hi))
+        sl = tuple(slice(a, b + 1) for a, b in zip(lo, hi, strict=True))
         faults = self.faults[sl]
         status = self.status[sl]
         status[...] = SAFE
@@ -201,7 +201,7 @@ class _DynamicClass:
     @staticmethod
     def _volume(lo: Coord, hi: Coord) -> int:
         out = 1
-        for a, b in zip(lo, hi):
+        for a, b in zip(lo, hi, strict=True):
             out *= b - a + 1
         return out
 
@@ -243,7 +243,7 @@ class _DynamicClass:
             if not fired:
                 continue
             lo, hi = self._box(sign, cells)
-            sl = tuple(slice(a, b + 1) for a, b in zip(lo, hi))
+            sl = tuple(slice(a, b + 1) for a, b in zip(lo, hi, strict=True))
             before = blocked[sl].copy()
             grown = closure_region(blocked, sign, lo, hi)
             event.dirty_cells += self._volume(lo, hi)
@@ -253,7 +253,7 @@ class _DynamicClass:
                 if sign > 0:  # only the + closure feeds the open mask
                     diff = np.argwhere(blocked[sl] != before)
                     open_changed.extend(
-                        tuple(int(v) + o for v, o in zip(row, lo))
+                        tuple(int(v) + o for v, o in zip(row, lo, strict=True))
                         for row in diff
                     )
                 self._refresh_box(lo, hi)
@@ -309,7 +309,7 @@ class _DynamicClass:
                 event.label_delta += len(kept)
                 continue
             lo, hi = boxes[sign]
-            sl = tuple(slice(a, b + 1) for a, b in zip(lo, hi))
+            sl = tuple(slice(a, b + 1) for a, b in zip(lo, hi, strict=True))
             before = blocked[sl].copy()
             # The repaired cells were blocked *as faults* before the
             # event, and the current mask no longer marks them faulty —
@@ -325,7 +325,7 @@ class _DynamicClass:
             if sign > 0:
                 diff = np.argwhere(blocked[sl] != before)
                 open_changed.extend(
-                    tuple(int(v) + o for v, o in zip(row, lo)) for row in diff
+                    tuple(int(v) + o for v, o in zip(row, lo, strict=True)) for row in diff
                 )
             self._refresh_box(lo, hi)
         self._refresh_cells(cells)
@@ -409,7 +409,7 @@ class DynamicFaultModel:
         for cell in cells:
             c = tuple(int(v) for v in cell)
             if len(c) != len(self.shape) or not all(
-                0 <= v < k for v, k in zip(c, self.shape)
+                0 <= v < k for v, k in zip(c, self.shape, strict=True)
             ):
                 raise ValueError(f"cell {c} outside mesh {self.shape}")
             if c in seen:

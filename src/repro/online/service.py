@@ -41,6 +41,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.analysis.sanitize import maybe_sanitize_online_service
 from repro.baselines.rfb import DynamicRFBState
 from repro.core.labelling import FAULTY, SAFE, LabelledGrid, label_grid
 from repro.mesh.coords import Coord
@@ -148,7 +149,7 @@ class _OnlineRouter(AdaptiveRouter):
         """Drop cached destinations inside the dirty cone ``dest >= lo``."""
         for key in keys:
             dest = key[1] if isinstance(key[0], tuple) else key
-            if lo is not None and all(d >= a for d, a in zip(dest, lo)):
+            if lo is not None and all(d >= a for d, a in zip(dest, lo, strict=True)):
                 cache.pop(key)
                 self.evicted += 1
             else:
@@ -247,6 +248,7 @@ class OnlineRoutingService:
         self._pending: list[tuple[int, tuple[Coord, Coord]]] = []
         self._done: dict[int, RouteResult] = {}
         self._tickets = 0
+        maybe_sanitize_online_service(self)
 
     # -- state -------------------------------------------------------------
 
@@ -315,7 +317,7 @@ class OnlineRoutingService:
         pairs = [p for _, p in self._pending]
         self._pending = []
         results = self.route_batch(pairs)
-        flushed = dict(zip(tickets, results))
+        flushed = dict(zip(tickets, results, strict=True))
         self._done.update(flushed)
         return flushed
 

@@ -88,7 +88,11 @@ from repro.util.records import (
     json_line,
     read_jsonl,
 )
-from repro.util.rng import SeedLike, spawn_seed_sequences
+from repro.util.rng import (
+    SeedLike,
+    replayable_seed_payload,
+    spawn_seed_sequences,
+)
 
 #: Registered experiments: name -> (evaluator path, reducer path).
 #: An evaluator maps ``(spec, task) -> dict`` of plain numbers for one
@@ -237,21 +241,14 @@ class SweepSpec:
         or a :class:`numpy.random.SeedSequence`; a live ``Generator``
         has hidden stream state and raises ``TypeError``.
         """
-        seed: Any = self.seed
-        if isinstance(seed, np.random.SeedSequence):
-            entropy = seed.entropy
-            seed = {
-                "entropy": list(entropy) if isinstance(entropy, (list, tuple))
-                else entropy,
-                "spawn_key": list(seed.spawn_key),
-                "pool_size": seed.pool_size,
-            }
-        elif isinstance(seed, np.random.Generator):
+        try:
+            seed = replayable_seed_payload(self.seed)
+        except TypeError as exc:
             raise TypeError(
                 "cannot fingerprint a sweep seeded with a live Generator; "
                 "checkpointed sweeps need a replayable seed "
                 "(int, None, or SeedSequence)"
-            )
+            ) from exc
         return fingerprint_of(
             {
                 "experiment": self.experiment,
@@ -323,7 +320,7 @@ def plan_tasks(spec: SweepSpec) -> list[PatternTask]:
     """
     count_seqs = spawn_seed_sequences(spec.seed, len(spec.fault_counts))
     tasks: list[PatternTask] = []
-    for count_index, (count, seq) in enumerate(zip(spec.fault_counts, count_seqs)):
+    for count_index, (count, seq) in enumerate(zip(spec.fault_counts, count_seqs, strict=True)):
         for trial, child in enumerate(seq.spawn(spec.trials)):
             tasks.append(
                 PatternTask(

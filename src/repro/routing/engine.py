@@ -126,10 +126,17 @@ class _ClassModel:
         self._reach: LRUCache[Coord, np.ndarray] = LRUCache(reach_cache_size)
 
     def reach_mask(self, dest: Coord) -> np.ndarray:
-        """Cells that can still reach ``dest`` through permitted cells."""
+        """Cells that can still reach ``dest`` through permitted cells.
+
+        Entries are frozen on insert: every consumer treats reach masks
+        as shared immutable snapshots (the batch scorer hands them out
+        directly), so an in-place write must fail loudly.
+        """
         mask = self._reach.get(dest)
         if mask is None:
-            mask = self._reach.put(dest, reverse_reachable(self._open, dest))
+            mask = reverse_reachable(self._open, dest)
+            mask.setflags(write=False)
+            self._reach.put(dest, mask)
         return mask
 
     def prime_reach(self, dests: Sequence[Coord]) -> None:
@@ -138,8 +145,10 @@ class _ClassModel:
         if not missing:
             return
         stacked = reverse_reachable_many(self._open, missing)
-        for dest, mask in zip(missing, stacked):
-            self._reach.put(dest, np.ascontiguousarray(mask))
+        for dest, mask in zip(missing, stacked, strict=True):
+            mask = np.ascontiguousarray(mask)
+            mask.setflags(write=False)
+            self._reach.put(dest, mask)
 
     def _reach_ok(self, cell: Coord, dest: Coord) -> bool:
         """Can ``cell`` still reach ``dest`` through permitted cells?"""
@@ -261,9 +270,9 @@ class AdaptiveRouter:
         blocked = self._blocked_cache.get(key)
         if blocked is None:
             open_mask = ~model.labelled.fault_mask
-            blocked = self._blocked_cache.put(
-                key, ~reverse_reachable(open_mask, dest)
-            )
+            blocked = ~reverse_reachable(open_mask, dest)
+            blocked.setflags(write=False)
+            self._blocked_cache.put(key, blocked)
         return blocked
 
     def _prime_oracle(self, model: _ClassModel, dests: Sequence[Coord]) -> None:
@@ -274,8 +283,10 @@ class AdaptiveRouter:
             return
         open_mask = ~model.labelled.fault_mask
         stacked = reverse_reachable_many(open_mask, missing)
-        for dest, mask in zip(missing, stacked):
-            self._blocked_cache.put((signs, dest), np.ascontiguousarray(~mask))
+        for dest, mask in zip(missing, stacked, strict=True):
+            blocked = np.ascontiguousarray(~mask)
+            blocked.setflags(write=False)
+            self._blocked_cache.put((signs, dest), blocked)
 
     # -- routing -------------------------------------------------------------
 

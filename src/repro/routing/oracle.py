@@ -138,7 +138,7 @@ def reverse_reachable(open_mask: np.ndarray, dest: Sequence[int]) -> np.ndarray:
     """
     axes = tuple(range(open_mask.ndim))
     flipped_open = np.flip(open_mask, axis=axes)
-    flipped_dest = tuple(k - 1 - c for c, k in zip(dest, open_mask.shape))
+    flipped_dest = tuple(k - 1 - c for c, k in zip(dest, open_mask.shape, strict=True))
     flooded = monotone_flood(flipped_open, _seed_at(open_mask.shape, flipped_dest))
     return np.flip(flooded, axis=axes)
 
@@ -157,7 +157,7 @@ def reverse_reachable_many(
     flipped_open = np.flip(open_mask, axis=axes)
     seeds = np.zeros((len(dests),) + open_mask.shape, dtype=bool)
     for b, dest in enumerate(dests):
-        seeds[b][tuple(k - 1 - c for c, k in zip(dest, open_mask.shape))] = True
+        seeds[b][tuple(k - 1 - c for c, k in zip(dest, open_mask.shape, strict=True))] = True
     flooded = monotone_flood_many(flipped_open, seeds)
     return np.flip(flooded, axis=tuple(a + 1 for a in axes))
 
@@ -220,7 +220,7 @@ def probe_reverse_reachable(
     for start in range(0, len(dests), chunk):
         block = dests[start : start + chunk]
         stacked = reverse_reachable_many(open_mask, block)
-        for dest, reach in zip(block, stacked):
+        for dest, reach in zip(block, stacked, strict=True):
             for index, source in by_dest[dest]:
                 out[index] = bool(reach[source])
             if keep is not None:
@@ -239,15 +239,15 @@ def minimal_path_exists(
     """
     source = tuple(int(c) for c in source)
     dest = tuple(int(c) for c in dest)
-    if any(s > d for s, d in zip(source, dest)):
+    if any(s > d for s, d in zip(source, dest, strict=True)):
         raise ValueError(
             f"oracle requires canonical frame (source {source} <= dest {dest})"
         )
     box = Box(source, dest)
     sl = box.slices()
     local_open = open_mask[sl]
-    local_src = tuple(s - lo for s, lo in zip(source, box.lo))
-    local_dst = tuple(d - lo for d, lo in zip(dest, box.lo))
+    local_src = tuple(s - lo for s, lo in zip(source, box.lo, strict=True))
+    local_dst = tuple(d - lo for d, lo in zip(dest, box.lo, strict=True))
     reach = monotone_flood(local_open, _seed_at(local_open.shape, local_src))
     return bool(reach[local_dst])
 

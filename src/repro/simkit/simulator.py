@@ -14,6 +14,13 @@ class Simulator:
         self.queue = EventQueue()
         self.now: float = 0.0
         self.events_processed: int = 0
+        #: Optional event observer with ``before_event(now)`` /
+        #: ``after_event()`` hooks, called around every executed action.
+        #: The session-isolation sanitizer
+        #: (:func:`repro.analysis.sanitize.sanitize_network`) attaches
+        #: here; ``None`` (the default) costs one attribute check per
+        #: event.
+        self.observer = None
 
     def schedule(self, delay: float, action: Callable[[], Any]) -> int:
         """Run ``action`` after ``delay`` time units; returns a handle."""
@@ -46,7 +53,15 @@ class Simulator:
                 break
             time, action = self.queue.pop()
             self.now = max(self.now, time)
-            action()
+            observer = self.observer
+            if observer is not None:
+                observer.before_event(self.now)
+                try:
+                    action()
+                finally:
+                    observer.after_event()
+            else:
+                action()
             processed += 1
         self.events_processed += processed
         return processed

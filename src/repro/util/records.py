@@ -166,7 +166,7 @@ class ParamSweep:
     def __iter__(self) -> Iterator[dict[str, Any]]:
         names = list(self.axes)
         for combo in itertools.product(*(self.axes[n] for n in names)):
-            yield dict(zip(names, combo))
+            yield dict(zip(names, combo, strict=True))
 
     def __len__(self) -> int:
         total = 1
@@ -220,10 +220,10 @@ class ResultTable:
         lines = []
         if self.title:
             lines.append(self.title)
-        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)))
         lines.append("  ".join("-" * w for w in widths))
         for row in body:
-            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
     def to_csv(self) -> str:

@@ -79,6 +79,34 @@ def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in seq.spawn(n)]
 
 
+def replayable_seed_payload(seed: SeedLike) -> Union[int, None, dict]:
+    """A JSON-safe, canonical payload identifying a replayable seed.
+
+    Used wherever a seed participates in a persistent identity — the
+    sweep runner's checkpoint fingerprints, saved result-table headers —
+    so the same seed always serializes to the same bytes.  ``int`` and
+    ``None`` pass through; a :class:`numpy.random.SeedSequence` is
+    reduced to its defining (entropy, spawn_key, pool_size) triple.  A
+    live :class:`numpy.random.Generator` has hidden stream state that
+    cannot be replayed from any serialization and raises ``TypeError``.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "a live Generator is not replayable; use an int, None, or a "
+            "SeedSequence where a persistent seed identity is needed"
+        )
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        return {
+            "entropy": list(entropy)
+            if isinstance(entropy, (list, tuple))
+            else entropy,
+            "spawn_key": list(seed.spawn_key),
+            "pool_size": seed.pool_size,
+        }
+    return seed
+
+
 def sample_distinct(
     rng: np.random.Generator, population: int, k: int
 ) -> np.ndarray:
@@ -98,7 +126,7 @@ def iter_seeds(seed: SeedLike, labels: Iterable[str]) -> dict[str, np.random.Gen
     """Give each label in ``labels`` its own derived generator (by order)."""
     labels = list(labels)
     rngs = spawn_rngs(seed, len(labels))
-    return dict(zip(labels, rngs))
+    return dict(zip(labels, rngs, strict=True))
 
 
 def shuffled(rng: np.random.Generator, items: Sequence) -> list:

@@ -32,7 +32,7 @@ def check_shape_member(name: str, coord: Sequence[int], shape: Sequence[int]) ->
             f"{name}={tuple(coord)!r} has {len(coord)} coordinates; "
             f"mesh is {len(shape)}-dimensional"
         )
-    for axis, (c, k) in enumerate(zip(coord, shape)):
+    for axis, (c, k) in enumerate(zip(coord, shape, strict=True)):
         if not 0 <= c < k:
             raise IndexError(
                 f"{name}={tuple(coord)!r} outside mesh: axis {axis} "

@@ -29,6 +29,33 @@ def oracle_feasible(fault_mask: np.ndarray, source, dest) -> bool:
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_cache_barrier():
+    """Digest-verify the labelling cache for the whole run when
+    ``REPRO_SANITIZE=1`` (the DES/online sanitizers self-install; the
+    cache barrier is process-wide state, so the suite owns it)."""
+    from repro.analysis.sanitize import enabled, install_cache_barrier
+
+    if not enabled():
+        yield None
+        return
+    handle = install_cache_barrier()
+    yield handle
+    handle.uninstall()
+
+
+@pytest.fixture
+def sanitized_cache_barrier():
+    """An unconditionally installed cache barrier (sanitizer tests)."""
+    from repro.analysis.sanitize import install_cache_barrier
+    from repro.core.model_cache import clear_labelling_cache
+
+    handle = install_cache_barrier()
+    yield handle
+    handle.uninstall()
+    clear_labelling_cache()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(20050610)

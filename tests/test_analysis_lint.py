@@ -1,0 +1,431 @@
+"""Seeded-violation tests for every ``repro-check`` rule.
+
+Each rule gets at least one snippet that must trip it and one nearby
+negative that must not, exercising the role scoping, the import-alias
+canonicalization, and both suppression channels.
+
+The disable-comment text is assembled by concatenation (``_DISABLE``)
+so the linter's textual suppression scanner never mistakes this test
+file's string literals for real suppressions of its own findings.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import Finding, lint_paths, lint_source, main, role_of
+from repro.analysis.rules import RULES
+from repro.analysis.suppressions import Whitelist, WhitelistError
+
+_DISABLE = "# repro-check: " + "disable="
+
+
+def ids(source: str, rel_path: str = "src/repro/pkg/mod.py", role=None):
+    return [f.rule_id for f in lint_source(textwrap.dedent(source), rel_path, role)]
+
+
+# -- rule catalog ------------------------------------------------------------
+
+
+def test_rule_catalog_covers_required_families():
+    assert len(RULES) >= 6
+    for rid in ("D101", "D102", "D103", "C201", "C202", "C203", "P301", "P302"):
+        assert rid in RULES
+        assert RULES[rid].rationale
+
+
+# -- D101: wall clock --------------------------------------------------------
+
+
+def test_d101_wall_clock_in_src():
+    src = """
+        import time
+        def f():
+            return time.time()
+    """
+    assert ids(src) == ["D101"]
+
+
+def test_d101_alias_and_from_import():
+    src = """
+        import time as t
+        from time import perf_counter
+        def f():
+            return t.monotonic() + perf_counter()
+    """
+    assert ids(src) == ["D101", "D101"]
+
+
+def test_d101_allowed_in_benchmarks():
+    src = """
+        import time
+        def f():
+            return time.perf_counter()
+    """
+    assert ids(src, "benchmarks/bench_x.py") == []
+
+
+# -- D102: global RNG state --------------------------------------------------
+
+
+def test_d102_bare_random_module():
+    src = """
+        import random
+        def f():
+            return random.random() + random.randint(0, 3)
+    """
+    assert ids(src) == ["D102", "D102"]
+
+
+def test_d102_legacy_numpy_random():
+    src = """
+        import numpy as np
+        def f(xs):
+            np.random.shuffle(xs)
+            return np.random.rand(3)
+    """
+    assert ids(src) == ["D102", "D102"]
+
+
+def test_d102_seed_sequence_api_allowed():
+    src = """
+        import numpy as np
+        def f(seed):
+            rng = np.random.default_rng(np.random.SeedSequence(seed))
+            return rng.integers(0, 10)
+    """
+    assert ids(src) == []
+
+
+def test_d102_active_in_tests_role():
+    src = """
+        import random
+        def f():
+            return random.random()
+    """
+    assert ids(src, "tests/test_x.py") == ["D102"]
+
+
+# -- D103: set iteration feeding ordered results -----------------------------
+
+
+def test_d103_list_of_set():
+    assert ids("order = list({'a', 'b'})\n") == ["D103"]
+
+
+def test_d103_listcomp_over_tracked_set_name():
+    src = """
+        def f(cells):
+            faults = set(cells)
+            return [c for c in faults]
+    """
+    assert ids(src) == ["D103"]
+
+
+def test_d103_for_loop_appending_from_set():
+    src = """
+        def f(s):
+            out = []
+            for x in s | {1}:
+                out.append(x)
+            return out
+    """
+    assert ids(src) == ["D103"]
+
+
+def test_d103_sorted_and_reductions_are_clean():
+    src = """
+        def f(cells):
+            faults = set(cells)
+            total = sum(faults)
+            ordered = sorted(faults)
+            for x in sorted(faults):
+                ordered.append(x)
+            return total, ordered
+    """
+    assert ids(src) == []
+
+
+def test_d103_reassignment_clears_tracking():
+    src = """
+        def f(cells):
+            faults = set(cells)
+            faults = sorted(faults)
+            return [c for c in faults]
+    """
+    assert ids(src) == []
+
+
+# -- C201: unfreezing arrays -------------------------------------------------
+
+
+def test_c201_setflags_write_true():
+    src = """
+        def f(arr):
+            arr.setflags(write=True)
+    """
+    assert ids(src) == ["C201"]
+
+
+def test_c201_flags_writeable_assignment():
+    src = """
+        def f(arr):
+            arr.flags.writeable = True
+    """
+    assert ids(src) == ["C201"]
+
+
+def test_c201_freezing_is_clean():
+    src = """
+        def f(arr):
+            arr.setflags(write=False)
+            arr.flags.writeable = False
+    """
+    assert ids(src) == []
+
+
+# -- C202: direct label_grid -------------------------------------------------
+
+
+def test_c202_direct_label_grid():
+    src = """
+        from repro.core.labelling import label_grid
+        def f(mask):
+            return label_grid(mask)
+    """
+    assert ids(src, "src/repro/experiments/exp_x.py") == ["C202"]
+
+
+@pytest.mark.parametrize(
+    "rel",
+    [
+        "src/repro/core/labelling.py",
+        "src/repro/core/model_cache.py",
+        "src/repro/online/service.py",
+    ],
+)
+def test_c202_sanctioned_modules(rel):
+    src = """
+        from repro.core.labelling import label_grid
+        def f(mask):
+            return label_grid(mask)
+    """
+    assert ids(src, rel) == []
+
+
+# -- C203: mutating cache-obtained objects -----------------------------------
+
+
+def test_c203_method_mutation_of_cached_value():
+    src = """
+        from repro.core.model_cache import cached_labelled
+        def f(mask):
+            labelled = cached_labelled(mask)
+            labelled.status.fill(0)
+    """
+    assert ids(src) == ["C203"]
+
+
+def test_c203_subscript_write_through_tuple_unpack():
+    src = """
+        from repro.core.model_cache import cached_class_assets
+        def f(mask):
+            labelled, mccs, walls = cached_class_assets(mask)
+            mccs.labels[0] = 9
+    """
+    assert ids(src) == ["C203"]
+
+
+def test_c203_augmented_assignment():
+    src = """
+        from repro.core.model_cache import cached_labelled
+        def f(mask):
+            grid = cached_labelled(mask)
+            grid.status[0] += 1
+    """
+    assert ids(src) == ["C203"]
+
+
+def test_c203_copy_then_mutate_is_clean():
+    src = """
+        from repro.core.model_cache import cached_labelled
+        def f(mask):
+            status = cached_labelled(mask).status.copy()
+            status.fill(0)
+            return status
+    """
+    assert ids(src) == []
+
+
+# -- P301: unpicklable pool work ---------------------------------------------
+
+
+def test_p301_lambda_to_pool():
+    src = """
+        def run(pool, items):
+            return pool.map(lambda x: x + 1, items)
+    """
+    assert ids(src) == ["P301"]
+
+
+def test_p301_nested_function_to_pool():
+    src = """
+        def run(pool, items):
+            def work(x):
+                return x + 1
+            return pool.imap_unordered(work, items)
+    """
+    assert ids(src) == ["P301"]
+
+
+def test_p301_module_level_function_is_clean():
+    src = """
+        def work(x):
+            return x + 1
+        def run(pool, items):
+            return pool.map(work, items)
+    """
+    assert ids(src) == []
+
+
+# -- P302: worker reads module-global mutables -------------------------------
+
+
+def test_p302_worker_reads_module_mutable():
+    src = """
+        registry = {}
+        def evaluate_shard(task):
+            return registry.get(task)
+    """
+    assert ids(src) == ["P302"]
+
+
+def test_p302_global_statement_in_worker():
+    src = """
+        def _evaluate_shard_star(args):
+            global hits
+            hits = 1
+    """
+    assert ids(src) == ["P302"]
+
+
+def test_p302_upper_case_constant_and_non_worker_clean():
+    src = """
+        REGISTRY = {}
+        helpers = {}
+        def evaluate_shard(task):
+            return REGISTRY.get(task)
+        def summarize(task):
+            return helpers.get(task)
+    """
+    assert ids(src) == []
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def test_inline_justified_suppression_silences_finding():
+    src = f"order = list({{'a', 'b'}})  {_DISABLE}D103 -- sink is a set again\n"
+    assert ids(src) == []
+
+
+def test_inline_unjustified_suppression_is_s001_and_keeps_finding():
+    src = f"order = list({{'a', 'b'}})  {_DISABLE}D103\n"
+    assert sorted(ids(src)) == ["D103", "S001"]
+
+
+def test_inline_suppression_only_covers_named_rule():
+    src = f"order = list({{'a', 'b'}})  {_DISABLE}C201 -- wrong rule named\n"
+    assert ids(src) == ["D103"]
+
+
+def test_syntax_error_reported_as_e999():
+    assert ids("def broken(:\n") == ["E999"]
+
+
+# -- whitelist ---------------------------------------------------------------
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def test_whitelist_allows_and_tracks_usage(tmp_path):
+    allow = _write(
+        tmp_path, "allow", "src/repro/viz/*.py D103 render order is cosmetic\n"
+    )
+    wl = Whitelist.load(allow)
+    assert wl.allows("src/repro/viz/ascii_art.py", "D103")
+    assert not wl.allows("src/repro/viz/ascii_art.py", "C201")
+    assert not wl.allows("src/repro/core/labelling.py", "D103")
+    assert wl.unused() == []
+
+
+def test_whitelist_unjustified_entry_is_an_error(tmp_path):
+    allow = _write(tmp_path, "allow", "src/*.py D103\n")
+    with pytest.raises(WhitelistError):
+        Whitelist.load(allow)
+
+
+def test_lint_paths_applies_whitelist(tmp_path, monkeypatch):
+    _write(
+        tmp_path,
+        "src/repro/viz/art.py",
+        "order = list({'a', 'b'})\n",
+    )
+    allow = _write(
+        tmp_path, "repro-check.allow", "*/viz/*.py D103 cosmetic ordering\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    assert [f.rule_id for f in lint_paths([str(tmp_path / "src")])] == ["D103"]
+    wl = Whitelist.load(allow)
+    assert lint_paths([str(tmp_path / "src")], wl) == []
+    assert wl.unused() == []
+
+
+# -- roles & CLI -------------------------------------------------------------
+
+
+def test_role_inference():
+    assert role_of("src/repro/core/labelling.py") == "src"
+    assert role_of("tests/test_x.py") == "tests"
+    assert role_of("benchmarks/bench_x.py") == "benchmarks"
+    assert role_of("examples/demo.py") == "examples"
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = _write(tmp_path, "src/clean.py", "def f():\n    return 1\n")
+    dirty = _write(tmp_path, "src/dirty.py", "order = list({'a', 'b'})\n")
+    assert main([str(clean), "--no-whitelist"]) == 0
+    assert main([str(dirty), "--no-whitelist"]) == 1
+    out = capsys.readouterr()
+    assert "D103" in out.out
+
+
+def test_cli_rejects_malformed_whitelist(tmp_path, capsys):
+    target = _write(tmp_path, "src/clean.py", "def f():\n    return 1\n")
+    allow = _write(tmp_path, "bad.allow", "src/*.py D103\n")
+    assert main([str(target), "--whitelist", str(allow)]) == 2
+
+
+def test_cli_reports_unused_whitelist_entries(tmp_path, capsys):
+    target = _write(tmp_path, "src/clean.py", "def f():\n    return 1\n")
+    allow = _write(tmp_path, "ok.allow", "nothing/*.py D103 stale entry\n")
+    assert main([str(target), "--whitelist", str(allow)]) == 0
+    assert "matched nothing" in capsys.readouterr().err
+
+
+def test_repository_tree_lints_clean():
+    """The gate the CI analysis job enforces, runnable locally."""
+    findings = lint_paths(["src", "tests", "benchmarks"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_finding_render_format():
+    f = Finding("src/x.py", 3, 7, "D101", "msg")
+    assert f.render() == "src/x.py:3:7: D101 msg"

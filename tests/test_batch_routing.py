@@ -141,7 +141,7 @@ class TestRoutingService:
         for mode in ("mcc", "rfb", "oracle"):
             service = RoutingService(mask, mode=mode)
             feas = service.feasible_batch(pairs)
-            for (s, d), f in zip(pairs, feas):
+            for (s, d), f in zip(pairs, feas, strict=True):
                 assert bool(f) == bool(service.route(s, d).feasible)
 
     def test_feasible_batch_rejects_blind(self):
@@ -181,7 +181,7 @@ class TestRoutingService:
             d = tuple(int(v) for v in rng.integers(0, shape[0], len(shape)))
             pairs.append((s, d))
         batched = route_batch(mask, pairs, mode=mode, policy=policy)
-        for pair, got in zip(pairs, batched):
+        for pair, got in zip(pairs, batched, strict=True):
             want = route_adaptive(mask, *pair, mode=mode, policy=policy)
             assert results_equal(got, want), (mode, pair, got, want)
 
@@ -197,7 +197,7 @@ class TestRoutingService:
             pairs.append((s, d))
         small = RoutingService(mask, reach_cache_size=2).route_batch(pairs)
         large = RoutingService(mask, reach_cache_size=None).route_batch(pairs)
-        assert all(results_equal(a, b) for a, b in zip(small, large))
+        assert all(results_equal(a, b) for a, b in zip(small, large, strict=True))
 
     @given(st.integers(0, 2**32 - 1))
     @settings(max_examples=15, deadline=None)
@@ -227,7 +227,7 @@ class TestRoutingService:
             mask, mode=mode, policy=RandomPolicy(policy_seed)
         )
         solo = [solo_router.route(s, d) for s, d in pairs]
-        for pair, got, want in zip(pairs, batched, solo):
+        for pair, got, want in zip(pairs, batched, solo, strict=True):
             assert results_equal(got, want), (mode, pair, got, want)
 
     def test_replay_policy_without_state_changes_nothing(self):
@@ -240,7 +240,7 @@ class TestRoutingService:
             pairs.append((s, d))
         plain = RoutingService(mask).route_batch(pairs)
         replayed = RoutingService(mask, replay_policy=True).route_batch(pairs)
-        assert all(results_equal(a, b) for a, b in zip(plain, replayed))
+        assert all(results_equal(a, b) for a, b in zip(plain, replayed, strict=True))
 
     def test_shared_labelling_with_region_experiment(self):
         from repro.experiments.exp_region_overhead import region_overhead_once

@@ -36,7 +36,7 @@ class TestLemma1Exactness2D:
         safe_cells = [tuple(int(x) for x in c) for c in np.argwhere(lab.safe_mask)]
         for s in safe_cells:
             for d in safe_cells:
-                if any(a > b for a, b in zip(s, d)):
+                if any(a > b for a, b in zip(s, d, strict=True)):
                     continue
                 from repro.routing.oracle import minimal_path_exists
 

@@ -67,7 +67,7 @@ class TestSessionParity:
         handles = [batch_pipe.submit(s, d) for s, d in pairs]
         batch = batch_pipe.drain()
         assert [h.result for h in handles] == batch
-        for one, many in zip(serial, batch):
+        for one, many in zip(serial, batch, strict=True):
             assert one["status"] == many["status"]
             assert one["path"] == many["path"]
             assert one["msgs"] == many["msgs"]

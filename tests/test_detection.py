@@ -168,7 +168,7 @@ class TestDetectionBatch:
             )
         got = detection_feasible_batch(mask, pairs)
         assert got.dtype == bool and got.shape == (len(pairs),)
-        for verdict, (s, d) in zip(got, pairs):
+        for verdict, (s, d) in zip(got, pairs, strict=True):
             assert bool(verdict) == detection_feasible(mask, s, d), (s, d)
 
     def test_faulty_endpoint_raises_like_per_pair(self):

@@ -23,7 +23,7 @@ def _record_guard_cells(pipe, shape):
             nxt = list(coord)
             nxt[axis] += 1
             nxt = tuple(nxt)
-            if not all(0 <= c < s for c, s in zip(nxt, shape)):
+            if not all(0 <= c < s for c, s in zip(nxt, shape, strict=True)):
                 continue
             col_axis = [a for a in rec["plane"] if a != rec["shadow_axis"]][0]
             col = nxt[col_axis]

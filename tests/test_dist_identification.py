@@ -137,7 +137,7 @@ class TestSectionIdentification3D:
 
     def test_sections_are_plane_confined(self, fig5_mask):
         pipe = DistributedMCCPipeline(Mesh3D(10), fig5_mask).build()
-        for (plane, corner), shape in pipe.identified_sections().items():
+        for (plane, _corner), shape in pipe.identified_sections().items():
             fixed_axes = [a for a in range(3) if a not in plane]
             for axis in fixed_axes:
                 values = {c[axis] for c in shape}

@@ -39,7 +39,7 @@ class TestMidProtocolFaults:
         # Whatever was identified must be a *true* region (the original
         # component) — never a corrupted shape containing safe cells.
         lab = label_grid(faults)
-        for (plane, corner), shape in pipe.identified_sections().items():
+        for (_plane, corner), shape in pipe.identified_sections().items():
             for cell in shape:
                 assert lab.unsafe_mask[cell] or cell == (4, 5), (corner, cell)
 

@@ -102,7 +102,7 @@ class TestGenerators:
             assert pair is not None
             a, b = pair
             assert safe[a] and safe[b]
-            assert sum(abs(x - y) for x, y in zip(a, b)) >= 3
+            assert sum(abs(x - y) for x, y in zip(a, b, strict=True)) >= 3
 
     def test_sample_safe_pair_degenerate(self, rng):
         assert sample_safe_pair(np.zeros((3, 3), dtype=bool), rng=rng) is None

@@ -26,7 +26,7 @@ class TestUnsafeExclusionPreservesReachability:
         for a in cells:
             for b in cells:
                 s, d = tuple(int(x) for x in a), tuple(int(x) for x in b)
-                if any(x > y for x, y in zip(s, d)):
+                if any(x > y for x, y in zip(s, d, strict=True)):
                     continue
                 assert minimal_path_exists(open_faulty, s, d) == (
                     minimal_path_exists(open_safe, s, d)

@@ -236,7 +236,7 @@ class TestOnlineRoutingService:
             cold = RoutingService(
                 online.fault_mask.copy(), mode=mode, label_cache=False
             ).route_batch(batch)
-            for g, c in zip(got, cold):
+            for g, c in zip(got, cold, strict=True):
                 assert (g.delivered, g.path, g.feasible, g.stuck_at, g.reason) == (
                     c.delivered, c.path, c.feasible, c.stuck_at, c.reason
                 )

@@ -107,7 +107,7 @@ class TestSemantics:
         d = (5, 5)
         rev = reverse_reachable(open_mask, d)
         for cell in np.ndindex(open_mask.shape):
-            if open_mask[cell] and all(c <= t for c, t in zip(cell, d)):
+            if open_mask[cell] and all(c <= t for c, t in zip(cell, d, strict=True)):
                 fwd = forward_reachable(open_mask, cell)
                 assert bool(rev[cell]) == bool(fwd[d])
 

@@ -78,4 +78,4 @@ class TestCoordMapping:
             d = tuple(int(v) for v in rng.integers(0, 7, 3))
             o = Orientation.for_pair(s, d, (7, 7, 7))
             ms, md = o.map_coord(s), o.map_coord(d)
-            assert all(a <= b for a, b in zip(ms, md))
+            assert all(a <= b for a, b in zip(ms, md, strict=True))

@@ -20,7 +20,7 @@ def shadow_reference(mask: np.ndarray, axis: int, negative: bool) -> np.ndarray:
     for cell in np.ndindex(mask.shape):
         for other in np.argwhere(mask):
             if all(
-                c == o for i, (c, o) in enumerate(zip(cell, other)) if i != axis
+                c == o for i, (c, o) in enumerate(zip(cell, other, strict=True)) if i != axis
             ):
                 if negative and cell[axis] < other[axis]:
                     out[cell] = True

@@ -63,7 +63,7 @@ class TestPlanAndPartition:
         assert [(t.count_index, t.count, t.trial) for t in a] == [
             (0, 2, 0), (0, 2, 1), (0, 2, 2), (1, 5, 0), (1, 5, 1), (1, 5, 2),
         ]
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=True):
             assert x.seed.entropy == y.seed.entropy
             assert x.seed.spawn_key == y.seed.spawn_key
             assert np.array_equal(
