@@ -1,0 +1,136 @@
+"""CI gate: the serving layer is replayable, epoch-clean, and fast enough.
+
+Three checks on a short soak through the load harness
+(:mod:`repro.serve.loadgen`):
+
+1. **Replay byte-identity** — the latency-vs-offered-load table saved
+   as JSONL is byte-for-byte identical across two runs of the same
+   seed (the whole asyncio pipeline is a pure function of the seed on
+   a :class:`~repro.serve.clock.VirtualClock`).
+2. **Epoch-violation gate** — run with ``REPRO_SANITIZE=1`` the online
+   epoch shadow re-checks every served result against its submission
+   epoch; any violation raises and fails the job, and the gate also
+   requires the shadow to have actually checked results (so a wiring
+   regression cannot silently disable it).
+3. **Throughput floor** — requests served per *wall-clock* second
+   while replaying the virtual-time soak must clear ``--min-throughput``
+   (virtual time costs nothing; this measures routing + batching work).
+
+Run (exits non-zero on any failure)::
+
+    REPRO_SANITIZE=1 PYTHONPATH=src python benchmarks/bench_serve_soak.py \
+        --shape 8 8 8 --faults 20 --rates 100 300 --duration 0.5 \
+        --events 3 --min-throughput 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+import time
+
+from repro.serve.clock import VirtualClock
+from repro.serve.loadgen import make_trace, run_load, run_offered_load_sweep
+from repro.serve.service import AsyncRoutingService
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shape", type=int, nargs="+", default=[8, 8, 8])
+    parser.add_argument("--faults", type=int, default=20)
+    parser.add_argument("--rates", type=float, nargs="+", default=[100.0, 300.0])
+    parser.add_argument("--profile", default="soak")
+    parser.add_argument("--duration", type=float, default=0.5)
+    parser.add_argument("--events", type=int, default=3)
+    parser.add_argument("--churn", type=int, default=2)
+    parser.add_argument("--batch-window", type=float, default=0.005)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument(
+        "--min-throughput", type=float, default=200.0,
+        help="requests served per wall-clock second, floor",
+    )
+    args = parser.parse_args()
+    shape = tuple(args.shape)
+
+    # 1. Replay byte-identity of the saved JSONL table.
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = [os.path.join(tmp, name) for name in ("a.jsonl", "b.jsonl")]
+        for path in paths:
+            table = run_offered_load_sweep(
+                shape,
+                args.faults,
+                list(args.rates),
+                profile=args.profile,
+                duration=args.duration,
+                events=args.events,
+                churn=args.churn,
+                batch_window=args.batch_window,
+                seed=args.seed,
+                save=path,
+            )
+        with open(paths[0], "rb") as fh:
+            first = fh.read()
+        with open(paths[1], "rb") as fh:
+            second = fh.read()
+        if first != second:
+            fail("saved load tables differ between identical-seed runs")
+    print(table.render())
+    print(f"PASS: saved table byte-identical across replays ({len(first)} bytes)")
+
+    # 2 + 3. One soak at the highest rate: epoch shadow active (when
+    # sanitizing) and wall-clock throughput above the floor.
+    trace = make_trace(
+        shape,
+        args.faults,
+        profile=args.profile,
+        rate=max(args.rates),
+        duration=args.duration,
+        events=args.events,
+        churn=args.churn,
+        seed=args.seed,
+    )
+    service = AsyncRoutingService(
+        trace.seed_mask.copy(),
+        clock=VirtualClock(),
+        batch_window=args.batch_window,
+    )
+    started = time.perf_counter()
+    records = asyncio.run(run_load(service, trace))
+    elapsed = time.perf_counter() - started
+    served = sum(r.status != "shed" for r in records)
+
+    if os.environ.get("REPRO_SANITIZE"):
+        shadow = getattr(service.online, "_epoch_shadow", None)
+        if shadow is None or shadow.checked_results == 0:
+            fail("REPRO_SANITIZE=1 but the epoch shadow checked nothing")
+        # A violation would have raised EpochViolationError mid-run.
+        print(
+            f"PASS: epoch shadow verified {shadow.checked_results} results, "
+            "zero violations"
+        )
+    else:
+        print("note: REPRO_SANITIZE not set; epoch-shadow gate skipped")
+
+    throughput = served / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"soak: {served} served in {elapsed:.3f}s wall "
+        f"({throughput:.0f} req/s, floor {args.min_throughput:.0f})"
+    )
+    if throughput < args.min_throughput:
+        fail(
+            f"throughput {throughput:.0f} req/s below floor "
+            f"{args.min_throughput:.0f}"
+        )
+    print("PASS: throughput floor cleared")
+
+
+if __name__ == "__main__":
+    main()

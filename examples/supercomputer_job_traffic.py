@@ -8,7 +8,7 @@ node failures, then pushes all-to-all style job traffic through three
 routers: MCC-guided adaptive, blind adaptive, and dimension-order.
 """
 
-from repro import RoutingService, ecube_succeeds, greedy_route, label_grid
+from repro import ecube_succeeds, greedy_route, label_grid, make_service
 from repro.experiments.workloads import clustered_fault_mask, sample_safe_pair
 from repro.util.rng import make_rng
 
@@ -33,7 +33,7 @@ def main() -> None:
 
     # One service per partition: every job batch shares the per-class
     # labelled grids and one reverse flood per distinct destination.
-    service = RoutingService(faults, mode="mcc")
+    service = make_service(faults, mode="mcc")
     jobs = 400
     pairs = []
     for _ in range(jobs):

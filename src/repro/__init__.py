@@ -25,9 +25,14 @@ Layers:
   realization of the whole pipeline on a discrete-event network;
 * ``repro.online`` — dynamic-fault serving: incremental labelling and
   epoch-versioned routing while faults arrive and heal;
+* ``repro.service`` — the one construction facade over every routing
+  service flavour (:func:`make_service`);
+* ``repro.serve`` — the always-on asyncio front-end: batched concurrent
+  ``await route()`` over the online model, fault-event preemption, SLO
+  metrics, and the replayable load-generator harness;
 * ``repro.parallel`` — multi-pattern sharding of experiment sweeps
   across processes (``SweepSpec`` / ``run_sweep``);
-* ``repro.experiments`` — the evaluation (tables T1–T6, figures).
+* ``repro.experiments`` — the evaluation (tables T1–T7s, figures).
 """
 
 from repro.mesh import Box, Direction, FaultSet, Mesh, Mesh2D, Mesh3D, Orientation
@@ -66,10 +71,12 @@ from repro.routing.policies import (
 from repro.baselines import ecube_path, ecube_succeeds, greedy_route, rfb_blocks, rfb_unsafe
 from repro.simkit import MeshNetwork, Simulator
 from repro.distributed import DistributedMCCPipeline
-from repro.online import DynamicFaultModel, FaultEvent, OnlineRoutingService
+from repro.online import DynamicFaultModel, FaultEvent, OnlineRoutingService, Ticket
+from repro.service import make_service
+from repro.serve import AsyncRoutingService, VirtualClock, WallClock
 from repro.parallel import SweepSpec, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Box",
@@ -121,6 +128,11 @@ __all__ = [
     "DynamicFaultModel",
     "FaultEvent",
     "OnlineRoutingService",
+    "Ticket",
+    "make_service",
+    "AsyncRoutingService",
+    "VirtualClock",
+    "WallClock",
     "SweepSpec",
     "run_sweep",
     "__version__",

@@ -18,8 +18,11 @@ from repro.experiments.exp_des_routing import run_des_routing
 from repro.experiments.exp_fidelity import run_fidelity
 from repro.experiments.exp_ablation import run_mesh4d_extension, run_rfb_variants
 from repro.experiments.exp_churn import run_churn
+from repro.experiments.harness import ExperimentSpec, run_all
 
 __all__ = [
+    "ExperimentSpec",
+    "run_all",
     "random_fault_mask",
     "clustered_fault_mask",
     "sample_safe_pair",

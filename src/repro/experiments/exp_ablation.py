@@ -74,6 +74,7 @@ def run_rfb_variants(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | None = None,
+    save: str | None = None,
 ) -> ResultTable:
     """A1 sweep: average captured nodes per RFB variant per fault count."""
     spec = SweepSpec(
@@ -83,7 +84,9 @@ def run_rfb_variants(
         trials=trials,
         seed=seed,
     )
-    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)
+    return run_sweep(
+        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+    )
 
 
 def evaluate_mesh4d_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
@@ -115,6 +118,7 @@ def run_mesh4d_extension(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | None = None,
+    save: str | None = None,
 ) -> ResultTable:
     """A4 sweep: average MCC capture in higher-dimension meshes."""
     spec = SweepSpec(
@@ -124,4 +128,6 @@ def run_mesh4d_extension(
         trials=trials,
         seed=seed,
     )
-    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)
+    return run_sweep(
+        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+    )

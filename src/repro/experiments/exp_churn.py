@@ -52,7 +52,8 @@ import numpy as np
 from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair
 from repro.mesh.topology import Mesh
-from repro.online import FaultEventStream, OnlineRoutingService
+from repro.online import FaultEventStream
+from repro.service import make_service
 from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
 from repro.util.records import ResultTable
 from repro.util.rng import SeedLike
@@ -89,7 +90,7 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
     """Run one pattern's churn history; delivery + relabel-cost counters."""
     rng = task.rng()
     mask = random_fault_mask(spec.shape, task.count, rng=rng)
-    online = OnlineRoutingService(mask, mode=str(spec.param("mode", "mcc")))
+    online = make_service(mask, mode=str(spec.param("mode", "mcc")), online=True)
     pairs = int(spec.param("pairs", 60))
     epochs = int(spec.param("epochs", 6))
     stream = FaultEventStream(int(spec.param("churn", 2)), rng)
@@ -140,8 +141,8 @@ def evaluate_des_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
     rng = task.rng()
     mask = random_fault_mask(spec.shape, task.count, rng=rng)
     pipe = DistributedMCCPipeline(Mesh(spec.shape), mask.copy()).build()
-    svc_mcc = OnlineRoutingService(mask, mode="mcc")
-    svc_rfb = OnlineRoutingService(mask, mode="rfb")
+    svc_mcc = make_service(mask, mode="mcc", online=True)
+    svc_rfb = make_service(mask, mode="rfb", online=True)
     pairs = int(spec.param("pairs", 60))
     epochs = int(spec.param("epochs", 6))
     stream = FaultEventStream(int(spec.param("churn", 2)), rng)
@@ -293,6 +294,7 @@ def run_churn(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | None = None,
+    save: str | None = None,
     mode: str = "mcc",
     des: bool = False,
 ) -> ResultTable:
@@ -319,4 +321,6 @@ def run_churn(
         seed=seed,
         params=params,
     )
-    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)
+    return run_sweep(
+        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+    )

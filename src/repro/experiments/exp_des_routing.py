@@ -40,12 +40,13 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.model_cache import cached_labelled, cached_routing_service
+from repro.core.model_cache import cached_labelled
 from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask
 from repro.mesh.coords import manhattan
 from repro.mesh.topology import Mesh
 from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
+from repro.service import make_service
 from repro.util.records import ResultTable
 from repro.util.rng import SeedLike
 
@@ -104,7 +105,7 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, float]:
         else:
             record["stuck"] += 1
     if batch:
-        service = cached_routing_service(mask, mode="oracle")
+        service = make_service(mask, mode="oracle", shared=True)
         wants = service.feasible_batch(batch)
         record["oracle_ok"] += int(wants.sum())
         record["agree"] += sum(
@@ -157,6 +158,7 @@ def run_des_routing(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | None = None,
+    save: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; distributed routing quality metrics.
 
@@ -173,4 +175,6 @@ def run_des_routing(
         seed=seed,
         params={"queries": queries},
     )
-    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)
+    return run_sweep(
+        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+    )

@@ -223,6 +223,7 @@ def run_fidelity(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | None = None,
+    save: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; agreement rates between model and oracle.
 
@@ -239,4 +240,6 @@ def run_fidelity(
         seed=seed,
         params={"pairs": pairs},
     )
-    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)
+    return run_sweep(
+        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+    )

@@ -88,6 +88,7 @@ def run_protocol_overhead(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | None = None,
+    save: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; mean protocol message counts per phase.
 
@@ -103,4 +104,6 @@ def run_protocol_overhead(
         trials=trials,
         seed=seed,
     )
-    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)
+    return run_sweep(
+        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+    )

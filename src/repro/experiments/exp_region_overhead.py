@@ -113,6 +113,7 @@ def run_region_overhead(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | None = None,
+    save: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; average region overhead per model.
 
@@ -128,4 +129,6 @@ def run_region_overhead(
         seed=seed,
         params={"clustered": clustered},
     )
-    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)
+    return run_sweep(
+        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+    )

@@ -44,7 +44,7 @@ import numpy as np
 from repro.baselines.ecube import ecube_succeeds
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair
 from repro.parallel.sharding import PatternTask, SweepSpec, run_sweep
-from repro.routing.batch import RoutingService
+from repro.service import make_service
 from repro.util.records import ResultTable
 from repro.util.rng import SeedLike
 
@@ -62,7 +62,7 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, int]:
     if not batch:
         return record
     for model in ("oracle", "mcc", "rfb"):
-        verdicts = RoutingService(mask, mode=model).feasible_batch(batch)
+        verdicts = make_service(mask, mode=model).feasible_batch(batch)
         record[model] = int(verdicts.sum())
     record["ecube"] = int(
         sum(ecube_succeeds(mask, source, dest) for source, dest in batch)
@@ -110,6 +110,7 @@ def run_success_rate(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | None = None,
+    save: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; success rate per model over random pairs.
 
@@ -125,4 +126,6 @@ def run_success_rate(
         seed=seed,
         params={"pairs": pairs},
     )
-    return run_sweep(spec, workers=workers, shards=shards, checkpoint=checkpoint)
+    return run_sweep(
+        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+    )

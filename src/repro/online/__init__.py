@@ -30,7 +30,7 @@ argument and the invalidation model.
 
 from repro.online.dynamic_model import DynamicFaultModel, FaultEvent
 from repro.online.events import FaultEventStream, StreamEvent
-from repro.online.service import OnlineRoutingService
+from repro.online.service import OnlineRoutingService, Ticket
 
 __all__ = [
     "DynamicFaultModel",
@@ -38,4 +38,5 @@ __all__ = [
     "FaultEventStream",
     "OnlineRoutingService",
     "StreamEvent",
+    "Ticket",
 ]

@@ -61,6 +61,30 @@ from repro.routing.engine import (
 from repro.routing.policies import Policy
 
 
+class Ticket(int):
+    """A submitted query's handle: the ticket id plus submission epoch.
+
+    Subclasses ``int`` so every pre-existing consumer — dict lookups
+    keyed by the plain integer ticket, arithmetic on ids, JSON dumps —
+    keeps working unchanged while new callers read ``ticket.epoch``
+    instead of re-deriving the service epoch at submission time.
+    """
+
+    epoch: int
+
+    def __new__(cls, ticket_id: int, epoch: int) -> "Ticket":
+        self = super().__new__(cls, ticket_id)
+        self.epoch = int(epoch)
+        return self
+
+    @property
+    def id(self) -> int:
+        return int(self)
+
+    def __repr__(self) -> str:
+        return f"Ticket(id={int(self)}, epoch={self.epoch})"
+
+
 class _OnlineRouter(AdaptiveRouter):
     """An :class:`AdaptiveRouter` whose models track a dynamic fault set.
 
@@ -295,14 +319,18 @@ class OnlineRoutingService:
 
     # -- event-bounded query batching --------------------------------------
 
-    def submit(self, source: Sequence[int], dest: Sequence[int]) -> int:
+    def submit(self, source: Sequence[int], dest: Sequence[int]) -> Ticket:
         """Queue one query; it routes at the next flush or fault event.
 
-        Returns a ticket for :meth:`take_completed`.  Queued queries are
-        guaranteed to be answered at the epoch they were submitted
-        under: fault events flush the queue before mutating the model.
+        Returns a :class:`Ticket` — an ``int``-compatible handle that
+        also carries the submission epoch, so callers no longer
+        re-derive the epoch a queued query was issued under (plain-int
+        lookups into :meth:`flush`/:meth:`take_completed` results keep
+        working).  Queued queries are guaranteed to be answered at the
+        epoch they were submitted under: fault events flush the queue
+        before mutating the model.
         """
-        ticket = self._tickets
+        ticket = Ticket(self._tickets, self.model.epoch)
         self._tickets += 1
         source = tuple(int(c) for c in source)
         dest = tuple(int(c) for c in dest)

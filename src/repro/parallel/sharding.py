@@ -442,6 +442,7 @@ def run_sweep(
     workers: int = 1,
     shards: int | None = None,
     checkpoint: str | os.PathLike | None = None,
+    save: str | os.PathLike | None = None,
 ) -> ResultTable:
     """Run the sweep: plan, partition, evaluate (maybe in parallel), reduce.
 
@@ -458,6 +459,10 @@ def run_sweep(
     uninterrupted run for any shard/worker count and any interruption
     point.  Records pass through the JSON codec even on the first run,
     so fresh and reloaded records are the same plain types.
+
+    ``save`` writes the merged table as durable JSONL — the same flag
+    every ``run_*`` entry point and the CLI expose (the shared kwargs
+    contract normalized by ``repro.experiments.harness.ExperimentSpec``).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -543,6 +548,8 @@ def run_sweep(
         table.fingerprint = spec.fingerprint()
     except TypeError:
         pass  # Generator-seeded sweeps have no canonical fingerprint.
+    if save is not None:
+        table.save(save)
     return table
 
 
@@ -611,23 +618,34 @@ def main(argv: Sequence[str] | None = None) -> None:
     name = args.experiment_name or args.experiment
     if name is None:
         parser.error("an experiment is required (positional or --experiment)")
+    # Lazy import: harness imports this module's registries at top
+    # level, so the reverse edge must stay inside main().
+    from repro.experiments.harness import ExperimentSpec
+
     experiment = CLI_ALIASES.get(name, name)
     if experiment == "churn_des":
         # Selecting the DES variant by name is the same as ``t6 --des``.
         experiment, args.des = "churn", True
-    runner_path, workload_flags = CLI_RUNNERS[experiment]
-    table = _resolve(runner_path)(
+    _, workload_flags = CLI_RUNNERS[experiment]
+    spec = ExperimentSpec(
+        experiment,
         tuple(args.shape),
-        list(args.fault_counts),
+        tuple(args.fault_counts),
         trials=args.trials,
         seed=args.seed,
+        workload={
+            flag: getattr(args, flag)
+            for flag in workload_flags
+            if flag != "mode"
+        },
+    )
+    table = spec.run(
         workers=args.workers,
         shards=args.shards,
         checkpoint=args.checkpoint,
-        **{flag: getattr(args, flag) for flag in workload_flags},
+        save=args.save,
+        mode=args.mode if "mode" in workload_flags else None,
     )
-    if args.save:
-        table.save(args.save)
     print(table.to_csv() if args.csv else table.render())
 
 

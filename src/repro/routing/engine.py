@@ -406,10 +406,21 @@ def route_adaptive(
 ) -> RouteResult:
     """One-shot convenience wrapper around :class:`RoutingService`.
 
-    Builds model state for a single pair and throws it away — batch
-    workloads should hold a :class:`repro.routing.batch.RoutingService`
-    (or at least one :class:`AdaptiveRouter`) instead.
+    .. deprecated:: 1.1
+        Builds model state for a single pair and throws it away.  Use
+        :func:`repro.service.make_service` and hold the returned
+        service instead — ``make_service(mask, mode=...).route(s, d)``
+        is the same verdict through the shared caches.
     """
+    import warnings
+
+    warnings.warn(
+        "route_adaptive() rebuilds all model state per call and is "
+        "deprecated; use repro.service.make_service(mask, mode=...) and "
+        "route through the returned service",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.routing.batch import RoutingService
 
     return RoutingService(fault_mask, mode=mode, policy=policy).route(source, dest)

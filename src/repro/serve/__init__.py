@@ -1,0 +1,56 @@
+"""Always-on serving layer: async routing front-end + load harness.
+
+The production face of the reproduction (ROADMAP "millions of users"):
+
+* :class:`AsyncRoutingService` — concurrent clients
+  ``await service.route(s, d)``; a batching window coalesces a tick's
+  arrivals into one ``route_batch`` call over the online dynamic-fault
+  model; fault events preempt the queue and flush in-flight requests
+  at their submission epoch; admission control sheds past a
+  queue-depth bound; SLO metrics (latency percentiles, throughput,
+  epoch lag, cache retention, shed count) poll via
+  :meth:`~repro.serve.service.AsyncRoutingService.metrics`.
+* :mod:`repro.serve.clock` — the :class:`VirtualClock` that makes every
+  test and persisted table deterministic, and the :class:`WallClock`
+  shim (the only sanctioned wall-clock read in library code).
+* :mod:`repro.serve.loadgen` — seeded replayable request traces with
+  soak/ramp/spike profiles, and
+  :func:`~repro.serve.loadgen.run_offered_load_sweep` producing the
+  latency-percentile-vs-offered-load table (JSONL-persisted,
+  byte-identical per seed).
+
+CLI::
+
+    PYTHONPATH=src python -m repro.serve --shape 8 8 8 --faults 20 \
+        --rates 100 300 1000 --profile ramp --events 4 --save out/t7s.jsonl
+"""
+
+from repro.serve.clock import Clock, VirtualClock, WallClock
+from repro.serve.loadgen import (
+    CompletedRequest,
+    RequestTrace,
+    make_trace,
+    run_load,
+    run_offered_load_sweep,
+)
+from repro.serve.service import (
+    AsyncRoutingService,
+    MetricsSnapshot,
+    ServiceOverloadError,
+    ServiceStoppedError,
+)
+
+__all__ = [
+    "AsyncRoutingService",
+    "Clock",
+    "CompletedRequest",
+    "MetricsSnapshot",
+    "RequestTrace",
+    "ServiceOverloadError",
+    "ServiceStoppedError",
+    "VirtualClock",
+    "WallClock",
+    "make_trace",
+    "run_load",
+    "run_offered_load_sweep",
+]

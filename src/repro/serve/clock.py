@@ -1,0 +1,144 @@
+"""The serving layer's clocks: one virtual and deterministic, one real.
+
+Everything in :mod:`repro.serve` tells time through a ``Clock`` so the
+same service + load-generator code runs in two regimes:
+
+* :class:`VirtualClock` — simulated time on the asyncio event loop.
+  ``sleep``/``sleep_until`` register timers on a heap; nothing fires
+  until a driver calls :meth:`VirtualClock.advance`, which jumps
+  ``now`` to the earliest deadline, wakes every timer due there
+  (registration order breaks ties), and then lets the loop settle.
+  asyncio's ready queue is FIFO and no real I/O is involved, so a
+  seeded workload replays **bit-for-bit**: same arrivals, same batch
+  compositions, same virtual latencies.  This is the clock every test
+  and every persisted load table uses.
+* :class:`WallClock` — real time (``time.monotonic`` /
+  ``asyncio.sleep``) for live soak runs where wall-clock throughput is
+  the point.  This class is the project's **sanctioned clock shim**:
+  the one place library code may read the wall clock (the ``repro-check``
+  D101 rule keeps it out of everything else), so a determinism audit
+  of the serving layer reduces to "which clock was injected".
+
+The settle loop after :meth:`~VirtualClock.advance` re-yields to the
+event loop until the clock's activity counter stops moving — timer
+registrations, timer fires, and explicit :meth:`~VirtualClock.note`
+calls (the service marks batch flushes) all bump it — so chained
+wakeups (timer fires batcher -> batcher resolves request futures ->
+clients record completions and register their next timers) complete
+before virtual time moves again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """What the serving layer needs from a time source."""
+
+    #: True when a driver must pump :meth:`advance` for time to move.
+    virtual: bool
+
+    def now(self) -> float: ...
+
+    async def sleep(self, delay: float) -> None: ...
+
+
+class VirtualClock:
+    """Deterministic simulated time for the asyncio serving stack."""
+
+    virtual = True
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        #: (deadline, seq, future) — seq makes same-deadline wakeups
+        #: fire in registration order (deterministic tie-breaking).
+        self._timers: list[tuple[float, int, asyncio.Future]] = []
+        self._seq = 0
+        #: Monotone activity counter; the settle loop runs until one
+        #: full yield round leaves it unchanged.
+        self.activity = 0
+
+    def now(self) -> float:
+        return self._now
+
+    def pending_timers(self) -> int:
+        """Live (non-cancelled) timers currently registered."""
+        return sum(1 for _, _, fut in self._timers if not fut.cancelled())
+
+    def note(self) -> None:
+        """Mark externally visible progress (keeps the settle loop going)."""
+        self.activity += 1
+
+    async def sleep(self, delay: float) -> None:
+        await self.sleep_until(self._now + float(delay))
+
+    async def sleep_until(self, when: float) -> None:
+        if when <= self._now:
+            # Already due: still yield once so a zero-delay sleep is a
+            # cooperative scheduling point, exactly like asyncio.sleep(0).
+            await asyncio.sleep(0)
+            return
+        fut = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._timers, (float(when), self._seq, fut))
+        self._seq += 1
+        self.activity += 1
+        await fut
+
+    async def advance(self) -> bool:
+        """Jump to the earliest deadline and wake everything due there.
+
+        Returns False when, after a settle round, no live timer is
+        registered — the driver's signal that every remaining task is
+        either finished or waiting on something other than time.
+        Settling happens *before* the emptiness check so freshly
+        created tasks get to run and register their first timers.
+        """
+        await self._settle()
+        while self._timers and self._timers[0][2].cancelled():
+            heapq.heappop(self._timers)
+        if not self._timers:
+            return False
+        when = self._timers[0][0]
+        self._now = when
+        while self._timers and self._timers[0][0] == when:
+            _, _, fut = heapq.heappop(self._timers)
+            if not fut.cancelled():
+                fut.set_result(None)
+                self.activity += 1
+        await self._settle()
+        return True
+
+    async def _settle(self) -> None:
+        """Yield to the loop until a full round adds no new activity."""
+        previous = None
+        while previous != self.activity:
+            previous = self.activity
+            # Two yields per round: one lets just-woken tasks run, the
+            # second lets anything they scheduled (resolved futures,
+            # zero-delay sleeps) run too before we re-check.
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+
+
+class WallClock:
+    """Real time — the sanctioned wall-clock shim for live serving.
+
+    Library code outside this class must never read the wall clock
+    (repro-check D101): injecting :class:`VirtualClock` instead must be
+    sufficient to make any serve-layer run deterministic.
+    """
+
+    virtual = False
+
+    def now(self) -> float:
+        # The single sanctioned wall-clock read in library code: live
+        # soak latencies/throughput are wall-clock by definition, and
+        # every deterministic consumer injects VirtualClock instead.
+        return time.monotonic()  # repro-check: disable=D101 -- sanctioned clock shim: live-mode time source, deterministic runs inject VirtualClock
+
+    async def sleep(self, delay: float) -> None:
+        await asyncio.sleep(delay)

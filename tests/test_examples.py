@@ -35,3 +35,10 @@ class TestExamples:
         out = run_example("distributed_protocol_demo.py")
         assert "matches centralized labelling: True" in out
         assert "delivered" in out
+
+    def test_serve_demo(self):
+        out = run_example("serve_demo.py")
+        # The whole serving pipeline is seeded: these numbers replay.
+        assert "Served 247/247" in out
+        assert "epoch=4" in out
+        assert "T7s serve load sweep" in out

@@ -130,3 +130,45 @@ class TestRecords:
         csv_text = table.to_csv()
         assert csv_text.splitlines()[0] == "x,y,z"
         assert table.column("y") == [0.5, None]
+
+
+class TestExperimentSpec:
+    def test_alias_resolution_and_validation(self):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec("t2", (8, 8), (4,), workload={"pairs": 10})
+        assert spec.resolved == "success_rate"
+        with pytest.raises(ValueError, match="unknown experiment"):
+            ExperimentSpec("t99", (8, 8), (4,))
+        with pytest.raises(ValueError, match="workload knobs"):
+            ExperimentSpec("t2", (8, 8), (4,), workload={"queries": 10})
+        with pytest.raises(ValueError, match="mode="):
+            ExperimentSpec("t1", (8, 8), (4,)).run(mode="rfb")
+
+    def test_run_matches_direct_entry_point(self, tmp_path):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(
+            "t2", (8, 8), (4, 8), trials=2, seed=3, workload={"pairs": 12}
+        )
+        saved = tmp_path / "t2.jsonl"
+        via_spec = spec.run(save=str(saved))
+        direct = run_success_rate((8, 8), [4, 8], pairs=12, trials=2, seed=3)
+        assert via_spec.rows == direct.rows
+        assert via_spec.fingerprint == direct.fingerprint
+        # The shared save= kwarg wrote the durable JSONL table.
+        assert ResultTable.load(str(saved)).rows == direct.rows
+
+    def test_shared_kwargs_contract_is_universal(self):
+        import inspect
+
+        from repro.experiments import harness
+        from repro.parallel.sharding import CLI_RUNNERS, _resolve
+
+        for name, (runner_path, _flags) in CLI_RUNNERS.items():
+            params = inspect.signature(_resolve(runner_path)).parameters
+            for kwarg in ("workers", "shards", "checkpoint", "save"):
+                assert kwarg in params, f"{name} run_* lacks {kwarg}="
+        assert harness.SHARED_KWARGS == (
+            "workers", "shards", "checkpoint", "save", "mode",
+        )

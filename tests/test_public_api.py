@@ -18,7 +18,7 @@ class TestEndToEnd:
             assert getattr(repro, name) is not None, name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_full_pipeline_composes(self):
         mesh = repro.Mesh3D(8)

@@ -1,0 +1,394 @@
+"""Contracts of the serving layer and the construction facade.
+
+Covers the four ISSUE-mandated serving contracts — batching-window
+determinism under a seeded clock, fault-event preemption vs in-flight
+requests (epoch parity with ``OnlineRoutingService.flush``),
+admission-control shedding, and facade parity with a direct
+``RoutingService`` — plus the :func:`make_service` flavour validation,
+the :class:`Ticket` compatibility shim, and the ``route_adaptive``
+deprecation.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.online import OnlineRoutingService, Ticket
+from repro.routing.batch import RoutingService
+from repro.routing.engine import route_adaptive
+from repro.serve import (
+    AsyncRoutingService,
+    ServiceOverloadError,
+    ServiceStoppedError,
+    VirtualClock,
+    make_trace,
+    run_load,
+    run_offered_load_sweep,
+)
+from repro.service import make_service
+from repro.util.rng import make_rng
+
+
+def small_mask(seed=7, shape=(6, 6, 6), faults=6):
+    from repro.experiments.workloads import random_fault_mask
+
+    return random_fault_mask(shape, faults, rng=make_rng(seed))
+
+
+async def _pump(clock, awaitable):
+    """Await something that only resolves once virtual time advances."""
+    task = asyncio.ensure_future(awaitable)
+    while not task.done():
+        if not await clock.advance():
+            break  # no live timers left; let await surface the state
+    return await task
+
+
+class TestVirtualClock:
+    def test_same_deadline_fires_in_registration_order(self):
+        clock = VirtualClock()
+        order = []
+
+        async def sleeper(tag):
+            await clock.sleep(1.0)
+            order.append(tag)
+
+        async def scenario():
+            tasks = [
+                asyncio.get_running_loop().create_task(sleeper(k))
+                for k in range(5)
+            ]
+            while not all(t.done() for t in tasks):
+                await clock.advance()
+
+        asyncio.run(scenario())
+        assert order == [0, 1, 2, 3, 4]
+        assert clock.now() == 1.0
+
+    def test_advance_settles_before_reporting_idle(self):
+        # A freshly created task that will register a timer must get a
+        # chance to run before advance() declares the clock idle.
+        clock = VirtualClock()
+
+        async def scenario():
+            task = asyncio.get_running_loop().create_task(clock.sleep(2.0))
+            assert await clock.advance() is True  # not a false idle
+            assert clock.now() == 2.0
+            await task
+            assert await clock.advance() is False
+
+        asyncio.run(scenario())
+
+    def test_due_now_sleep_still_yields(self):
+        clock = VirtualClock()
+
+        async def scenario():
+            await clock.sleep(0.0)  # must not deadlock or register a timer
+            assert clock.pending_timers() == 0
+
+        asyncio.run(scenario())
+
+
+class TestBatchingDeterminism:
+    def test_one_window_coalesces_to_one_batch(self):
+        mask = small_mask()
+        trace = make_trace(
+            (6, 6, 6), 6, rate=400.0, duration=0.009, seed=7, min_distance=2
+        )
+        assert trace.offered > 1
+        service = AsyncRoutingService(
+            trace.seed_mask.copy(), clock=VirtualClock(), batch_window=0.01
+        )
+        records = asyncio.run(run_load(service, trace))
+        m = service.metrics()
+        assert len(records) == trace.offered
+        # Every arrival landed inside the first window: one batch.
+        assert m.batches == 1
+        assert m.max_batch == trace.offered
+        assert mask.shape == trace.seed_mask.shape
+
+    def test_replay_is_identical(self):
+        trace = make_trace((6, 6, 6), 8, rate=500.0, duration=0.3, events=2, seed=13)
+
+        def once():
+            service = AsyncRoutingService(
+                trace.seed_mask.copy(), clock=VirtualClock(), batch_window=0.005
+            )
+            return asyncio.run(run_load(service, trace)), service.metrics()
+
+        records_a, metrics_a = once()
+        records_b, metrics_b = once()
+        assert records_a == records_b  # CompletedRequest dataclass equality
+        assert metrics_a == metrics_b
+
+    def test_saved_sweep_tables_are_byte_identical(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for p in paths:
+            run_offered_load_sweep(
+                (6, 6, 6),
+                6,
+                [100.0, 300.0],
+                profile="spike",
+                duration=0.25,
+                events=2,
+                seed=42,
+                save=str(p),
+            )
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_trace_generation_is_pure(self):
+        t1 = make_trace((6, 6, 6), 6, profile="ramp", rate=300.0, seed=5)
+        t2 = make_trace((6, 6, 6), 6, profile="ramp", rate=300.0, seed=5)
+        assert t1.requests == t2.requests
+        assert np.array_equal(t1.seed_mask, t2.seed_mask)
+        t3 = make_trace((6, 6, 6), 6, profile="ramp", rate=300.0, seed=6)
+        assert t1.requests != t3.requests
+
+    def test_run_load_rejects_mismatched_mask(self):
+        trace = make_trace((6, 6, 6), 6, rate=100.0, duration=0.05, seed=5)
+        other = np.zeros((6, 6, 6), dtype=bool)
+        service = AsyncRoutingService(other, clock=VirtualClock())
+        with pytest.raises(ValueError, match="seed mask"):
+            asyncio.run(run_load(service, trace))
+
+
+class TestFaultEventPreemption:
+    def test_preemption_answers_in_flight_at_submission_epoch(self):
+        mask = small_mask(seed=11)
+        trace = make_trace((6, 6, 6), 6, rate=200.0, duration=0.05, seed=11)
+        pairs = [(r.source, r.dest) for r in trace.requests[:3]]
+        assert len(pairs) >= 2
+        cells = [tuple(np.argwhere(~mask)[0])]
+
+        async def scenario():
+            service = AsyncRoutingService(
+                mask.copy(), clock=VirtualClock(), batch_window=1.0
+            )
+            async with service:
+                loop = asyncio.get_running_loop()
+                early = [loop.create_task(service.route(s, d)) for s, d in pairs]
+                await asyncio.sleep(0)  # let the clients enqueue
+                assert service.metrics().queue_depth == len(pairs)
+                service.apply_event("inject", cells)  # preempts the window
+                # The event resolved every in-flight request: no batch
+                # tick was needed, and the queue is empty again.
+                done = [await t for t in early]
+                assert service.metrics().queue_depth == 0
+                late = await _pump(service.clock, service.route(*pairs[0]))
+                return done, late, service.metrics()
+
+        done, late, m = asyncio.run(scenario())
+        # In-flight requests answered at their submission epoch (0),
+        # strictly before the mutation; the later request sees epoch 1.
+        assert [r.epoch for r in done] == [0] * len(pairs)
+        assert late.epoch == 1
+        assert m.events == 1
+        assert m.epoch == 1
+
+    def test_epoch_parity_with_online_flush(self):
+        mask = small_mask(seed=11)
+        trace = make_trace((6, 6, 6), 6, rate=200.0, duration=0.05, seed=11)
+        pairs = [(r.source, r.dest) for r in trace.requests[:3]]
+        cells = [tuple(np.argwhere(~mask)[0])]
+
+        # Reference: the same schedule driven through the online
+        # service's own submit/flush queue.
+        online = make_service(mask.copy(), online=True)
+        tickets = [online.submit(s, d) for s, d in pairs]
+        online.inject(cells)  # flushes the queue first, then mutates
+        reference = online.take_completed()
+        ref_results = [reference[t] for t in tickets]
+        ref_late = online.route(*pairs[0])
+
+        async def scenario():
+            service = AsyncRoutingService(
+                mask.copy(), clock=VirtualClock(), batch_window=1.0
+            )
+            async with service:
+                loop = asyncio.get_running_loop()
+                early = [loop.create_task(service.route(s, d)) for s, d in pairs]
+                await asyncio.sleep(0)
+                service.apply_event("inject", cells)
+                done = [await t for t in early]
+                late = await _pump(service.clock, service.route(*pairs[0]))
+                return done, late
+
+        done, late = asyncio.run(scenario())
+        assert done == ref_results  # identical RouteResults, epochs included
+        assert late == ref_late
+
+
+class TestAdmissionControl:
+    def test_shedding_past_queue_depth(self):
+        mask = small_mask(seed=3)
+        trace = make_trace((6, 6, 6), 6, rate=200.0, duration=0.1, seed=3)
+        pairs = [(r.source, r.dest) for r in trace.requests]
+        depth = 3
+        assert len(pairs) > depth
+
+        async def scenario():
+            service = AsyncRoutingService(
+                mask.copy(),
+                clock=VirtualClock(),
+                batch_window=0.01,
+                max_queue_depth=depth,
+            )
+            async with service:
+                loop = asyncio.get_running_loop()
+                accepted = [
+                    loop.create_task(service.route(s, d))
+                    for s, d in pairs[:depth]
+                ]
+                await asyncio.sleep(0)  # fill the queue to its bound
+                shed = 0
+                for s, d in pairs[depth:]:
+                    with pytest.raises(ServiceOverloadError):
+                        await service.route(s, d)
+                    shed += 1
+                results = await _pump(
+                    service.clock, asyncio.gather(*accepted)
+                )
+                return results, shed, service.metrics()
+
+        results, shed, m = asyncio.run(scenario())
+        assert all(r.epoch == 0 for r in results)
+        assert m.shed == shed
+        assert m.completed == depth
+        assert m.requests == depth + shed
+
+    def test_route_outside_lifecycle_raises(self):
+        service = AsyncRoutingService(small_mask(), clock=VirtualClock())
+
+        async def scenario():
+            with pytest.raises(ServiceStoppedError):
+                await service.route((0, 0, 0), (5, 5, 5))
+
+        asyncio.run(scenario())
+
+    def test_constructor_validation(self):
+        mask = small_mask()
+        with pytest.raises(ValueError, match="batch_window"):
+            AsyncRoutingService(mask, batch_window=0.0)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AsyncRoutingService(mask, max_queue_depth=0)
+        online = make_service(mask, online=True)
+        with pytest.raises(ValueError, match="not both"):
+            AsyncRoutingService(mask, online=online)
+        adopted = AsyncRoutingService(online=online)
+        assert adopted.online is online
+
+
+class TestFacadeParity:
+    def test_served_results_match_direct_routing_service(self):
+        trace = make_trace((6, 6, 6), 8, rate=400.0, duration=0.2, seed=21)
+        service = AsyncRoutingService(
+            trace.seed_mask.copy(), clock=VirtualClock(), batch_window=0.005
+        )
+        asyncio.run(run_load(service, trace))
+        served = asyncio.run(_collect(trace))
+
+        direct = RoutingService(trace.seed_mask.copy(), mode="mcc")
+        expected = direct.route_batch(
+            [(r.source, r.dest) for r in trace.requests]
+        )
+        assert len(served) == len(expected)
+        for got, want in zip(served, expected, strict=True):
+            # Element-wise identical verdicts and paths; only the epoch
+            # stamp differs (online results carry 0, static carry None).
+            assert got.epoch == 0
+            assert (got.delivered, got.path, got.feasible, got.stuck_at) == (
+                want.delivered,
+                want.path,
+                want.feasible,
+                want.stuck_at,
+            )
+
+
+async def _collect(trace):
+    """Route a trace's pairs through a fresh served stack, trace order."""
+    service = AsyncRoutingService(
+        trace.seed_mask.copy(), clock=VirtualClock(), batch_window=0.005
+    )
+    async with service:
+        loop = asyncio.get_running_loop()
+        tasks = [
+            loop.create_task(service.route(r.source, r.dest))
+            for r in trace.requests
+        ]
+        gathered = asyncio.gather(*tasks)
+        while not gathered.done():
+            await service.clock.advance()
+        return await gathered
+
+
+class TestMakeServiceFacade:
+    def test_default_flavour_is_routing_service(self):
+        service = make_service(small_mask())
+        assert isinstance(service, RoutingService)
+
+    def test_online_flavour(self):
+        service = make_service(small_mask(), online=True)
+        assert isinstance(service, OnlineRoutingService)
+        assert service.epoch == 0
+
+    def test_shared_flavour_is_content_addressed(self):
+        mask = small_mask()
+        a = make_service(mask, shared=True)
+        b = make_service(mask.copy(), shared=True)
+        assert a is b  # same content -> same cached service
+
+    def test_online_and_shared_are_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            make_service(small_mask(), online=True, shared=True)
+
+    def test_flavours_reject_foreign_knobs(self):
+        mask = small_mask()
+        with pytest.raises(ValueError, match="cannot honour"):
+            make_service(mask, online=True, label_cache=False)
+        with pytest.raises(ValueError, match="cannot honour"):
+            make_service(mask, shared=True, max_hops=10)
+        with pytest.raises(ValueError, match="full_recompute_fraction"):
+            make_service(mask, full_recompute_fraction=0.5)
+        with pytest.raises(ValueError, match="reach_cache_size"):
+            make_service(mask, shared=True, reach_cache_size=3)
+        with pytest.raises(ValueError, match="needs a fault_mask"):
+            make_service(online=True)
+
+    def test_facade_routes_like_direct_construction(self):
+        mask = small_mask(seed=9)
+        trace = make_trace((6, 6, 6), 6, rate=300.0, duration=0.1, seed=9)
+        pairs = [(r.source, r.dest) for r in trace.requests]
+        via_facade = make_service(mask, mode="mcc").route_batch(pairs)
+        direct = RoutingService(mask, mode="mcc").route_batch(pairs)
+        assert via_facade == direct
+
+
+class TestTicket:
+    def test_ticket_is_int_compatible(self):
+        online = make_service(small_mask(), online=True)
+        ticket = online.submit((0, 0, 0), (5, 5, 5))
+        assert isinstance(ticket, Ticket)
+        assert isinstance(ticket, int)
+        assert ticket.id == int(ticket)
+        assert ticket.epoch == 0
+        results = online.flush()
+        # Plain-int lookups keep working during the deprecation window.
+        assert results[int(ticket)] is results[ticket]
+
+    def test_ticket_epoch_tracks_model(self):
+        mask = small_mask()
+        online = make_service(mask, online=True)
+        online.inject([tuple(np.argwhere(~mask)[0])])
+        ticket = online.submit((0, 0, 0), (5, 5, 5))
+        assert ticket.epoch == 1
+        assert repr(ticket) == f"Ticket(id={int(ticket)}, epoch=1)"
+
+
+class TestRouteAdaptiveDeprecation:
+    def test_route_adaptive_warns_but_works(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        with pytest.warns(DeprecationWarning, match="make_service"):
+            result = route_adaptive(mask, (0, 0), (4, 4))
+        assert result.delivered
