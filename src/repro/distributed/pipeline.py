@@ -124,10 +124,20 @@ class MCCProtocolNode(
 class DistributedMCCPipeline:
     """Run the whole distributed stack over one fault pattern."""
 
-    def __init__(self, mesh: Mesh, fault_mask: np.ndarray, trace: bool = False):
+    def __init__(
+        self,
+        mesh: Mesh,
+        fault_mask: np.ndarray,
+        trace: bool = False,
+        link_capacity: int | None = None,
+    ):
         self.mesh = mesh
         self.net = MeshNetwork(
-            mesh, fault_mask, node_factory=MCCProtocolNode, trace=trace
+            mesh,
+            fault_mask,
+            node_factory=MCCProtocolNode,
+            link_capacity=link_capacity,
+            trace=trace,
         )
         self._query_ids = itertools.count(1)
         self._phase_messages: dict[str, int] = {}
@@ -169,6 +179,7 @@ class DistributedMCCPipeline:
         source: Sequence[int],
         dest: Sequence[int],
         strict: bool = True,
+        at: float = 0.0,
     ) -> QueryHandle:
         """Launch one routing session without blocking (canonical frame).
 
@@ -178,6 +189,11 @@ class DistributedMCCPipeline:
         instead, which is what churn workloads need: endpoints die and
         heal between submissions, and a dead endpoint is a routing
         failure, not a caller bug.
+
+        ``at`` delays the session's start by that many time units from
+        now — the open-loop load generator uses it to place Poisson
+        arrivals on the simulator clock; with contended links the
+        sessions then genuinely overlap and queue against each other.
         """
         if not self._built:
             self.build()
@@ -203,11 +219,12 @@ class DistributedMCCPipeline:
                 "source": source,
                 "epoch": self.epoch,
                 "msgs": 0,
+                "latency": 0.0,
             }
         else:
             src_node = self.net.nodes[source]
             self.net.sim.schedule(
-                0.0, lambda: src_node.start_query(query_id, dest)
+                at, lambda: src_node.start_query(query_id, dest)
             )
         self._inflight.append(handle)
         return handle
@@ -253,6 +270,11 @@ class DistributedMCCPipeline:
                 record["msgs"] = int(
                     self.net.stats.query_messages.get(handle.query_id, 0)
                 )
+                # Session latency from the protocol's own clock stamps
+                # (arrival of start_query -> terminal status); under
+                # contended links this includes all queueing delay.
+                if "started_at" in record and "completed_at" in record:
+                    record["latency"] = record["completed_at"] - record["started_at"]
                 handle.result = record
                 # Resolved sessions release their protocol-side state so
                 # a long-lived pipeline does not grow per query served.

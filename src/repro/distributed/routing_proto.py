@@ -83,9 +83,14 @@ class RoutingMixin(NodeProcess):
             "oks": set(),
             "expected": 0,
             "path": [self.coord],
+            # Session clock stamps: arrival now, completion at the
+            # terminal status transition.  The pipeline turns the pair
+            # into end-to-end session latency (queueing included).
+            "started_at": self.network.sim.now,
         }
         if dest == self.coord:
             queries[query_id]["status"] = "delivered"
+            queries[query_id]["completed_at"] = self.network.sim.now
             return
         live = tuple(
             a for a in range(self.network.mesh.ndim) if dest[a] != self.coord[a]
@@ -114,6 +119,7 @@ class RoutingMixin(NodeProcess):
             query = self.store.get("queries", {}).get(query_id)
             if query is not None and query["status"] == "detecting":
                 query["status"] = "infeasible"
+                query["completed_at"] = self.network.sim.now
             return
         super().on_timer(tag)
 
@@ -265,6 +271,7 @@ class RoutingMixin(NodeProcess):
                 self._launch_route(payload["query"], query)
             else:
                 query["status"] = "infeasible"
+                query["completed_at"] = self.network.sim.now
             return
         query["oks"].add(payload["which"])
         if len(query["oks"]) >= query["expected"]:
@@ -390,6 +397,7 @@ class RoutingMixin(NodeProcess):
             return
         query["status"] = payload["status"]
         query["path"] = [tuple(c) for c in payload["path"]]
+        query["completed_at"] = self.network.sim.now
 
     # -- dispatch ---------------------------------------------------------------------
 

@@ -44,6 +44,8 @@ PROFILES = {
         "des_trials": 2,
         "des_queries": 12,
         "churn_epochs": 4,
+        "load_rates": [0.2, 0.6],
+        "load_duration": 20.0,
     },
     "paper": {
         "shape2d": (32, 32),
@@ -57,6 +59,8 @@ PROFILES = {
         "des_trials": 3,
         "des_queries": 60,
         "churn_epochs": 8,
+        "load_rates": [0.2, 0.5, 1.0, 2.0],
+        "load_duration": 60.0,
     },
 }
 
@@ -154,7 +158,7 @@ def run_all(
     workers: int = 1,
     checkpoint_dir: str | None = None,
 ) -> dict[str, ResultTable]:
-    """Regenerate T1–T6 for 2-D and 3-D; returns tables keyed by id.
+    """Regenerate T1–T7 for 2-D and 3-D; returns tables keyed by id.
 
     ``workers`` shards every table's multi-pattern sweep across
     processes via :mod:`repro.parallel.sharding`; tables are identical
@@ -240,6 +244,20 @@ def run_all(
         ),
         "T6": (churn_spec, None),
         "T6r": (churn_spec, "rfb"),
+        "T7": (
+            ExperimentSpec(
+                "t7",
+                p["des_shape"],
+                tuple(p["des_faults"][:2]),
+                trials=p["des_trials"],
+                seed=seed,
+                workload={
+                    "rates": list(p["load_rates"]),
+                    "duration": p["load_duration"],
+                },
+            ),
+            None,
+        ),
         "T6d": (
             ExperimentSpec(
                 "t6",

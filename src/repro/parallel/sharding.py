@@ -32,9 +32,10 @@ Command-line interface (also see ``benchmarks/bench_sweep_sharding.py``)::
 
 The positional experiment accepts registered names (``success_rate``,
 ``region_overhead``, ``des_routing``, ``protocol_overhead``,
-``fidelity``, ``churn``, ``ablation_rfb``, ``ablation_4d``) or the
-table aliases (``t1``–``t6``, ``a1``, ``a4``; ``t6`` is the fault-churn
-workload added on top of the paper); ``--experiment NAME`` is kept
+``fidelity``, ``churn``, ``load``, ``ablation_rfb``, ``ablation_4d``)
+or the table aliases (``t1``–``t7``, ``a1``, ``a4``; ``t6`` is the
+fault-churn workload and ``t7`` the contended-link load sweep, both
+added on top of the paper); ``--experiment NAME`` is kept
 for scripts.  ``--shape``/``--fault-counts``/``--trials``/``--seed``
 define the pattern grid; ``--pairs`` (T1/T2/T5) or ``--queries`` (T4)
 size the per-pattern workload; ``--workers`` sets the process count
@@ -135,6 +136,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "repro.experiments.exp_churn:evaluate_des_pattern",
         "repro.experiments.exp_churn:reduce_des_records",
     ),
+    "load": (
+        "repro.experiments.exp_load:evaluate_pattern",
+        "repro.experiments.exp_load:reduce_records",
+    ),
 }
 
 #: Paper-table shorthands accepted by the CLI's positional argument.
@@ -145,6 +150,7 @@ CLI_ALIASES: dict[str, str] = {
     "t4": "des_routing",
     "t5": "fidelity",
     "t6": "churn",
+    "t7": "load",
     "a1": "ablation_rfb",
     "a4": "ablation_4d",
 }
@@ -187,6 +193,10 @@ CLI_RUNNERS: dict[str, tuple[str, tuple[str, ...]]] = {
     "churn_des": (
         "repro.experiments.exp_churn:run_churn",
         ("pairs", "epochs", "churn", "mode", "des"),
+    ),
+    "load": (
+        "repro.experiments.exp_load:run_load_sweep",
+        ("rates", "duration", "capacity"),
     ),
 }
 
@@ -562,7 +572,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         nargs="?",
         metavar="experiment",
         choices=sorted(CLI_RUNNERS) + sorted(CLI_ALIASES),
-        help="registered experiment or paper-table alias (t1..t5, a1, a4)",
+        help="registered experiment or paper-table alias (t1..t7, a1, a4)",
     )
     parser.add_argument(
         "--experiment",
@@ -592,6 +602,18 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--des", action="store_true",
         help="score the distributed stack under churn next to the "
         "centralized mcc/rfb services (t6 --des)",
+    )
+    parser.add_argument(
+        "--rates", type=float, nargs="+", default=[0.2, 0.5, 1.0],
+        help="offered session arrivals per time unit (load/t7 sweep)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=40.0,
+        help="Poisson arrival window per rate (load/t7 sweep)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=1,
+        help="messages per directed link per link delay (load/t7 sweep)",
     )
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--workers", type=int, default=1)

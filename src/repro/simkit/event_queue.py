@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable
 
 
@@ -18,19 +19,31 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Callable[[], Any]]] = []
         self._seq = itertools.count()
+        self._live: set[int] = set()
         self._cancelled: set[int] = set()
 
     def push(self, time: float, action: Callable[[], Any]) -> int:
         """Schedule ``action`` at ``time``; returns a cancellable handle."""
-        if time < 0:
-            raise ValueError(f"event time must be non-negative, got {time}")
+        time = float(time)
+        # NaN compares False against everything, so a plain ``time < 0``
+        # guard lets NaN through and silently corrupts heap ordering.
+        if not math.isfinite(time) or time < 0:
+            raise ValueError(f"event time must be finite and non-negative, got {time}")
         seq = next(self._seq)
-        heapq.heappush(self._heap, (float(time), seq, action))
+        self._live.add(seq)
+        heapq.heappush(self._heap, (time, seq, action))
         return seq
 
     def cancel(self, handle: int) -> None:
-        """Cancel a scheduled event (lazy removal on pop)."""
-        self._cancelled.add(handle)
+        """Cancel a scheduled event (lazy removal on pop).
+
+        Cancelling a handle that already fired, was already cancelled,
+        or never existed is a no-op — only live handles move to the
+        cancelled set, so ``__len__`` can never undercount.
+        """
+        if handle in self._live:
+            self._live.discard(handle)
+            self._cancelled.add(handle)
 
     def pop(self) -> tuple[float, Callable[[], Any]] | None:
         """Earliest live event, or None when empty."""
@@ -39,6 +52,7 @@ class EventQueue:
             if seq in self._cancelled:
                 self._cancelled.discard(seq)
                 continue
+            self._live.discard(seq)
             return time, action
         return None
 
@@ -54,7 +68,7 @@ class EventQueue:
         return None
 
     def __len__(self) -> int:
-        return len(self._heap) - len(self._cancelled)
+        return len(self._live)
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None

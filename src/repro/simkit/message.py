@@ -34,12 +34,17 @@ class Message:
         return self.ttl is not None and self.hops > self.ttl
 
     def forwarded(self, new_dst: Coord) -> "Message":
-        """Copy for the next hop (same identity, one more hop)."""
+        """Copy for the next hop (same identity, one more hop).
+
+        The payload is shallow-copied: a downstream node mutating its
+        copy must not retroactively rewrite the sender's hop (protocols
+        that mutate *nested* payload values copy them before writing).
+        """
         return Message(
             kind=self.kind,
             src=self.dst,
             dst=new_dst,
-            payload=self.payload,
+            payload=dict(self.payload),
             hops=self.hops + 1,
             ttl=self.ttl,
             msg_id=self.msg_id,

@@ -21,8 +21,36 @@ from repro.simkit.stats import StatsCollector
 from repro.simkit.trace import TraceLog
 
 
+#: Message kind for source-routed data frames, handled by the network
+#: itself (``_frame_hop``) so plain :class:`NodeProcess` meshes carry
+#: traffic without a protocol subclass.
+FRAME_KIND = "FRAME"
+
+
+class _LinkState:
+    """Occupancy bookkeeping for one directed link under contention."""
+
+    __slots__ = ("free", "depth")
+
+    def __init__(self, capacity: int):
+        #: Next-free time of each of the link's ``capacity`` servers.
+        self.free = [0.0] * capacity
+        #: Messages currently in flight or queued on this link.
+        self.depth = 0
+
+
 class MeshNetwork:
-    """Node processes over a mesh with unit-latency neighbor links."""
+    """Node processes over a mesh with unit-latency neighbor links.
+
+    With the default ``link_capacity=None`` links have infinite
+    bandwidth: every ``transmit`` delivers exactly ``link_delay`` later,
+    byte-identical to the pre-contention network.  With
+    ``link_capacity=k`` each *directed* neighbor link is a serialized
+    resource carrying at most ``k`` messages per ``link_delay``; later
+    ``transmit`` calls queue FIFO behind earlier ones (service order is
+    transmit order, deterministic — no RNG anywhere).  Queue depth per
+    link and end-to-end frame latency land in :class:`StatsCollector`.
+    """
 
     def __init__(
         self,
@@ -30,22 +58,41 @@ class MeshNetwork:
         fault_mask: np.ndarray,
         node_factory: Callable[["MeshNetwork", Coord], NodeProcess] | None = None,
         link_delay: float = 1.0,
+        link_capacity: int | None = None,
         trace: bool = False,
     ):
         if fault_mask.shape != mesh.shape:
             raise ValueError(
                 f"fault mask {fault_mask.shape} does not match mesh {mesh.shape}"
             )
+        if link_capacity is not None and link_capacity < 1:
+            raise ValueError(f"link_capacity must be >= 1 or None, got {link_capacity}")
         self.mesh = mesh
         self.fault_mask = np.asarray(fault_mask, dtype=bool).copy()
         self.sim = Simulator()
         self.stats = StatsCollector()
         self.trace = TraceLog() if trace else None
         self.link_delay = link_delay
+        self.link_capacity = link_capacity
+        self._links: dict[tuple[Coord, Coord], _LinkState] = {}
         factory = node_factory or NodeProcess
         self.nodes: dict[Coord, NodeProcess] = {
             coord: factory(self, coord) for coord in mesh.nodes()
         }
+
+    def set_link_capacity(self, capacity: int | None) -> None:
+        """Switch contention mode while the network is idle.
+
+        Used to build protocol state uncontended and then enable finite
+        links for a load phase; existing per-link occupancy is reset, so
+        the queue must be quiescent.
+        """
+        if not self.sim.idle:
+            raise RuntimeError("cannot change link capacity with events in flight")
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"link_capacity must be >= 1 or None, got {capacity}")
+        self.link_capacity = capacity
+        self._links.clear()
 
     # -- fault handling ------------------------------------------------------
 
@@ -79,18 +126,85 @@ class MeshNetwork:
             self.stats.bump("dropped[src-faulty]")
             return
         self.stats.on_send(msg.kind, query=msg.payload.get("query"))
-        self.sim.schedule(self.link_delay, lambda: self._deliver(msg))
+        if self.link_capacity is None:
+            self.sim.schedule(self.link_delay, lambda: self._deliver(msg))
+            return
+        # Contended path: reserve the earliest-free server of the
+        # directed link at transmit time (FIFO — arrival order is
+        # service order; ties break to the lowest server index).
+        link = (msg.src, msg.dst)
+        state = self._links.get(link)
+        if state is None:
+            state = self._links[link] = _LinkState(self.link_capacity)
+        now = self.sim.now
+        slot = min(range(len(state.free)), key=state.free.__getitem__)
+        start = state.free[slot] if state.free[slot] > now else now
+        state.free[slot] = start + self.link_delay
+        wait = start - now
+        if wait > 0:
+            self.stats.bump("link_wait_total", wait)
+        state.depth += 1
+        self.stats.note_link_depth(link, state.depth)
+        self.sim.schedule(wait + self.link_delay, lambda: self._deliver(msg, link))
 
-    def _deliver(self, msg: Message) -> None:
+    def _deliver(self, msg: Message, link: tuple[Coord, Coord] | None = None) -> None:
+        if link is not None:
+            self._links[link].depth -= 1
         if self.is_faulty(msg.dst):
             self.stats.bump("dropped[dst-faulty]")
+            if msg.kind == FRAME_KIND:
+                self.stats.bump("frames[lost]")
             return
         if msg.expired():
             self.stats.bump("dropped[ttl]")
             return
         if self.trace is not None:
             self.trace.record(self.sim.now, msg.kind, msg.src, msg.dst)
+        if msg.kind == FRAME_KIND:
+            self._frame_hop(msg)
+            return
         self.nodes[msg.dst].on_message(msg)
+
+    # -- source-routed data frames ------------------------------------------------
+
+    def inject_frame(self, path, query=None) -> None:
+        """Inject one data frame that follows ``path`` hop by hop.
+
+        ``path`` is a sequence of coordinates starting at the source;
+        consecutive entries must be mesh neighbors.  Delivery at the
+        final coordinate records ``now - t0`` into
+        :attr:`StatsCollector.frame_latencies`; a hop into a faulty node
+        drops the frame (counted under ``frames[lost]``).
+        """
+        path = [tuple(c) for c in path]
+        if not path:
+            raise ValueError("frame path must be non-empty")
+        t0 = self.sim.now
+        if self.is_faulty(path[0]):
+            self.stats.bump("dropped[src-faulty]")
+            self.stats.bump("frames[lost]")
+            return
+        if len(path) == 1:
+            self.stats.on_frame(0.0, query=query)
+            return
+        msg = Message(
+            kind=FRAME_KIND,
+            src=path[0],
+            dst=path[1],
+            payload={"query": query, "path": path, "i": 1, "t0": t0},
+        )
+        self.transmit(msg)
+
+    def _frame_hop(self, msg: Message) -> None:
+        payload = msg.payload
+        path = payload["path"]
+        i = payload["i"]
+        if i == len(path) - 1:
+            self.stats.on_frame(self.sim.now - payload["t0"], query=payload.get("query"))
+            return
+        nxt = msg.forwarded(path[i + 1])
+        nxt.payload["i"] = i + 1
+        self.transmit(nxt)
 
     # -- execution --------------------------------------------------------------
 

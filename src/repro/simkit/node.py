@@ -70,6 +70,12 @@ class NodeProcess:
         """Forward a message to the next neighbor, bumping its hop count."""
         self.network.transmit(msg.forwarded(dst))
 
+    def send_frame(self, path, query=None) -> None:
+        """Inject a source-routed data frame starting at this node."""
+        if tuple(path[0]) != tuple(self.coord):
+            raise ValueError(f"frame path must start at {self.coord}, got {path[0]}")
+        self.network.inject_frame(path, query=query)
+
     def set_timer(self, delay: float, tag: str) -> int:
         return self.network.sim.schedule(delay, lambda: self._fire_timer(tag))
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable
 
 from repro.simkit.event_queue import EventQueue
@@ -24,8 +25,9 @@ class Simulator:
 
     def schedule(self, delay: float, action: Callable[[], Any]) -> int:
         """Run ``action`` after ``delay`` time units; returns a handle."""
-        if delay < 0:
-            raise ValueError(f"delay must be non-negative, got {delay}")
+        # Same guard as EventQueue.push: NaN slips past ``delay < 0``.
+        if not math.isfinite(delay) or delay < 0:
+            raise ValueError(f"delay must be finite and non-negative, got {delay}")
         return self.queue.push(self.now + delay, action)
 
     def cancel(self, handle: int) -> None:

@@ -23,6 +23,13 @@ class StatsCollector:
         self.hops: Counter[str] = Counter()
         self.gauges: dict[str, float] = defaultdict(float)
         self.query_messages: Counter[Hashable] = Counter()
+        #: Peak simultaneous occupancy (in flight + queued) per directed
+        #: link, maintained by the contended-link mode of
+        #: :class:`~repro.simkit.network.MeshNetwork`.
+        self.link_peak_depth: dict[tuple, int] = {}
+        #: End-to-end latency of each delivered source-routed frame, in
+        #: delivery order (deterministic under the DES).
+        self.frame_latencies: list[float] = []
 
     def on_send(self, kind: str, query: Hashable | None = None) -> None:
         self.messages_sent[kind] += 1
@@ -32,6 +39,22 @@ class StatsCollector:
 
     def bump(self, name: str, amount: float = 1.0) -> None:
         self.gauges[name] += amount
+
+    def note_link_depth(self, link: tuple, depth: int) -> None:
+        """Record instantaneous occupancy of a directed link."""
+        if depth > self.link_peak_depth.get(link, 0):
+            self.link_peak_depth[link] = depth
+        if depth > self.gauges["link_peak_depth"]:
+            self.gauges["link_peak_depth"] = depth
+
+    def on_frame(self, latency: float, query: Hashable | None = None) -> None:
+        """Record one delivered frame's end-to-end latency."""
+        self.frame_latencies.append(latency)
+        self.bump("frames[delivered]")
+
+    @property
+    def frames_delivered(self) -> int:
+        return len(self.frame_latencies)
 
     @property
     def total_messages(self) -> int:
@@ -51,3 +74,5 @@ class StatsCollector:
         self.hops.clear()
         self.gauges.clear()
         self.query_messages.clear()
+        self.link_peak_depth.clear()
+        self.frame_latencies.clear()

@@ -186,3 +186,142 @@ class TestAccessors:
     def test_unsafe_mask_shorthand(self, rng):
         mask = random_mask(rng, (6, 6), 5)
         assert np.array_equal(unsafe_mask(mask), label_grid(mask).unsafe_mask)
+
+
+class TestClosureRegionBoxes:
+    """Property checks of the dirty-box sweep against the full closure.
+
+    The slab-extension arithmetic (one frozen layer toward the neighbor
+    side, clipped at the mesh border) is exercised directly: full-grid
+    boxes, boxes flush against every border, single-cell and degenerate
+    boxes — each compared with ``_closure`` ground truth.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.tuples(st.integers(3, 7), st.integers(3, 7)),
+        st.integers(0, 2**32 - 1),
+        st.sampled_from([+1, -1]),
+    )
+    def test_full_grid_box_matches_closure(self, shape, seed, sign):
+        from repro.core.labelling import closure_region
+
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, shape, int(rng.integers(0, 8)))
+        blocked = mask.copy()
+        grown = closure_region(
+            blocked, sign, (0,) * len(shape), tuple(k - 1 for k in shape)
+        )
+        want = _closure(mask, sign) | mask
+        np.testing.assert_array_equal(blocked, want)
+        assert grown == int(want.sum()) - int(mask.sum())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.sampled_from([+1, -1]),
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+    )
+    def test_partial_box_is_sound_and_scoped(self, seed, sign, a, b):
+        """A partial box only grows inside itself and stays within the
+        full closure; cells outside the box are bitwise frozen."""
+        from repro.core.labelling import closure_region
+
+        shape = (5, 5)
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, shape, int(rng.integers(0, 7)))
+        lo = tuple(min(x, y) for x, y in zip(a, b, strict=True))
+        hi = tuple(max(x, y) for x, y in zip(a, b, strict=True))
+        blocked = mask.copy()
+        before = blocked.copy()
+        closure_region(blocked, sign, lo, hi)
+        full = _closure(mask, sign) | mask
+        # Sound: never blocks a cell the full closure leaves open.
+        assert not (blocked & ~full).any()
+        # Scoped: outside the box nothing changed.
+        box = np.zeros(shape, dtype=bool)
+        box[lo[0] : hi[0] + 1, lo[1] : hi[1] + 1] = True
+        np.testing.assert_array_equal(blocked[~box], before[~box])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.sampled_from([+1, -1]),
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+    )
+    def test_partial_then_full_reaches_fixed_point(self, seed, sign, a, b):
+        """Monotone restart: any partial sweep followed by a full-grid
+        sweep lands exactly on the full closure (the dirty-region
+        soundness argument in the docstring)."""
+        from repro.core.labelling import closure_region
+
+        shape = (5, 5)
+        rng = np.random.default_rng(seed)
+        mask = random_mask(rng, shape, int(rng.integers(0, 7)))
+        lo = tuple(min(x, y) for x, y in zip(a, b, strict=True))
+        hi = tuple(max(x, y) for x, y in zip(a, b, strict=True))
+        blocked = mask.copy()
+        closure_region(blocked, sign, lo, hi)
+        closure_region(blocked, sign, (0, 0), (4, 4))
+        np.testing.assert_array_equal(blocked, _closure(mask, sign) | mask)
+
+    @pytest.mark.parametrize("sign", [+1, -1])
+    @pytest.mark.parametrize(
+        "cell", [(0, 0), (0, 3), (3, 0), (3, 3), (1, 2)]
+    )
+    def test_single_cell_box_matches_scalar_rule(self, sign, cell):
+        """A 1x1 box (borders and interior) applies exactly the scalar
+        rule: blocked iff every sign-direction neighbor is blocked, with
+        the mesh border non-blocking."""
+        from repro.core.labelling import closure_region
+
+        shape = (4, 4)
+        rng = np.random.default_rng(hash((sign, cell)) % (2**32))
+        for _ in range(10):
+            mask = random_mask(rng, shape, int(rng.integers(0, 8)))
+            blocked = mask.copy()
+            grown = closure_region(blocked, sign, cell, cell)
+            if mask[cell]:
+                want = True  # already blocked; sweep cannot change it
+            else:
+                neighbor_blocked = []
+                for axis in range(2):
+                    n = list(cell)
+                    n[axis] += sign
+                    n = tuple(n)
+                    inside = all(0 <= v < k for v, k in zip(n, shape, strict=True))
+                    neighbor_blocked.append(inside and bool(mask[n]))
+                want = all(neighbor_blocked)
+            assert bool(blocked[cell]) == want
+            assert grown == int(want and not mask[cell])
+
+    def test_border_hugging_slabs(self):
+        """Boxes flush with each mesh border exercise both clip branches
+        of the slab extension (min(b+2, k) and max(a-1, 0))."""
+        from repro.core.labelling import closure_region
+
+        shape = (5, 5)
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            mask = random_mask(rng, shape, int(rng.integers(2, 10)))
+            full = _closure(mask, +1) | mask
+            for lo, hi in [
+                ((0, 0), (0, 4)),  # top row
+                ((4, 0), (4, 4)),  # bottom row
+                ((0, 0), (4, 0)),  # left column
+                ((0, 4), (4, 4)),  # right column
+            ]:
+                blocked = mask.copy()
+                closure_region(blocked, +1, lo, hi)
+                assert not (blocked & ~full).any()
+                closure_region(blocked, +1, (0, 0), (4, 4))
+                np.testing.assert_array_equal(blocked, full)
+
+    def test_empty_box_returns_zero(self):
+        from repro.core.labelling import closure_region
+
+        blocked = np.zeros((3, 3), dtype=bool)
+        assert closure_region(blocked, +1, (2, 2), (1, 1)) == 0
+        assert not blocked.any()

@@ -228,3 +228,209 @@ class TestStatsAndTrace:
         trace.record(1.0, "K", (0, 0), (0, 1), note="hello")
         text = trace.render()
         assert "K" in text and "hello" in text
+
+
+class TestCancelAccounting:
+    """EventQueue len/bool stay exact through dead-handle cancels."""
+
+    def test_cancel_after_fire_is_noop(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+        q.cancel(handle)  # already fired: must not corrupt accounting
+        assert len(q) == 0
+        assert not q
+        q.push(2.0, lambda: None)
+        assert len(q) == 1 and bool(q)
+
+    def test_double_cancel(self):
+        q = EventQueue()
+        keep = q.push(1.0, lambda: None)
+        handle = q.push(2.0, lambda: None)
+        q.cancel(handle)
+        q.cancel(handle)
+        assert len(q) == 1
+        assert q.pop()[0] == 1.0
+        assert len(q) == 0
+        del keep
+
+    def test_unknown_handle_cancel_is_noop(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.cancel(12345)
+        assert len(q) == 1 and bool(q)
+
+    def test_len_never_negative_through_sequences(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(3)]
+        q.pop()
+        for h in handles:
+            q.cancel(h)
+            q.cancel(h)
+        assert len(q) == 0
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_cancel_then_peek_then_len(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(first)
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+
+
+class TestNonFiniteTimes:
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(float("nan"), lambda: None)
+
+    def test_inf_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(float("inf"), lambda: None)
+
+    def test_nan_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_inf_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(float("-inf"), lambda: None)
+
+
+class TestForwardedPayloadIsolation:
+    def test_forwarded_copy_does_not_alias(self):
+        msg = Message("ROUTE", (0, 0), (0, 1), payload={"trail": "a", "n": 1})
+        hop = msg.forwarded((0, 2))
+        hop.payload["n"] = 2
+        hop.payload["extra"] = True
+        assert msg.payload == {"trail": "a", "n": 1}
+
+    def test_forwarded_keeps_identity_and_hops(self):
+        msg = Message("ROUTE", (0, 0), (0, 1), payload={"q": 1}, hops=3, ttl=9)
+        hop = msg.forwarded((1, 1))
+        assert hop.msg_id == msg.msg_id
+        assert hop.hops == 4 and hop.ttl == 9
+        assert hop.src == (0, 1) and hop.dst == (1, 1)
+        assert hop.payload == msg.payload and hop.payload is not msg.payload
+
+
+class TestContendedLinks:
+    def _net(self, capacity, shape=(2, 2)):
+        return MeshNetwork(
+            Mesh2D(shape[0]), np.zeros(shape, dtype=bool), link_capacity=capacity
+        )
+
+    def test_uncontended_default_delivers_in_parallel(self):
+        net = self._net(None)
+        seen = []
+        net.nodes[(0, 1)].on_message = lambda m: seen.append(net.sim.now)
+        net.transmit(Message("A", (0, 0), (0, 1)))
+        net.transmit(Message("B", (0, 0), (0, 1)))
+        net.run_to_quiescence()
+        assert seen == [1.0, 1.0]
+
+    def test_capacity_one_serializes_fifo(self):
+        net = self._net(1)
+        seen = []
+        net.nodes[(0, 1)].on_message = lambda m: seen.append((m.kind, net.sim.now))
+        for kind in ("A", "B", "C"):
+            net.transmit(Message(kind, (0, 0), (0, 1)))
+        net.run_to_quiescence()
+        assert seen == [("A", 1.0), ("B", 2.0), ("C", 3.0)]
+        assert net.stats.link_peak_depth[((0, 0), (0, 1))] == 3
+        assert net.stats.gauges["link_peak_depth"] == 3
+        assert net.stats.gauges["link_wait_total"] == 3.0  # 0 + 1 + 2
+
+    def test_capacity_two_carries_pairs(self):
+        net = self._net(2)
+        seen = []
+        net.nodes[(0, 1)].on_message = lambda m: seen.append(net.sim.now)
+        for _ in range(4):
+            net.transmit(Message("A", (0, 0), (0, 1)))
+        net.run_to_quiescence()
+        assert seen == [1.0, 1.0, 2.0, 2.0]
+
+    def test_directed_links_are_independent(self):
+        net = self._net(1)
+        times = {}
+        net.nodes[(0, 1)].on_message = lambda m: times.setdefault("fwd", net.sim.now)
+        net.nodes[(0, 0)].on_message = lambda m: times.setdefault("rev", net.sim.now)
+        net.transmit(Message("A", (0, 0), (0, 1)))
+        net.transmit(Message("B", (0, 1), (0, 0)))
+        net.run_to_quiescence()
+        assert times == {"fwd": 1.0, "rev": 1.0}
+
+    def test_set_link_capacity_requires_idle(self):
+        net = self._net(None)
+        net.transmit(Message("A", (0, 0), (0, 1)))
+        with pytest.raises(RuntimeError):
+            net.set_link_capacity(1)
+        net.run_to_quiescence()
+        net.set_link_capacity(1)
+        assert net.link_capacity == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            self._net(0)
+
+    def test_contended_run_is_deterministic(self):
+        def run():
+            net = self._net(1, shape=(3, 3))
+            for i in range(5):
+                net.transmit(Message(f"M{i}", (0, 0), (0, 1)))
+                net.transmit(Message(f"N{i}", (0, 1), (0, 2)))
+            net.run_to_quiescence()
+            return net.sim.now, net.stats.total_messages, dict(net.stats.gauges)
+
+        assert run() == run()
+
+
+class TestFrames:
+    def test_frame_latency_uncontended(self):
+        net = MeshNetwork(Mesh2D(3), np.zeros((3, 3), dtype=bool))
+        net.inject_frame([(0, 0), (0, 1), (0, 2)])
+        net.run_to_quiescence()
+        assert net.stats.frame_latencies == [2.0]
+        assert net.stats.frames_delivered == 1
+
+    def test_frame_latency_queues_behind_contention(self):
+        net = MeshNetwork(
+            Mesh2D(3), np.zeros((3, 3), dtype=bool), link_capacity=1
+        )
+        net.inject_frame([(0, 0), (0, 1), (0, 2)])
+        net.inject_frame([(0, 0), (0, 1), (0, 2)])
+        net.run_to_quiescence()
+        # Second frame waits one slot on the first link, then one more on
+        # the second: head-of-line blocking carries through the path.
+        assert net.stats.frame_latencies == [2.0, 3.0]
+
+    def test_frame_into_faulty_node_lost(self):
+        faults = mask_of_cells([(0, 1)], (3, 3))
+        net = MeshNetwork(Mesh2D(3), faults)
+        net.inject_frame([(0, 0), (0, 1), (0, 2)])
+        net.run_to_quiescence()
+        assert net.stats.frames_delivered == 0
+        assert net.stats.gauges["frames[lost]"] == 1
+
+    def test_zero_hop_frame(self):
+        net = MeshNetwork(Mesh2D(2), np.zeros((2, 2), dtype=bool))
+        net.inject_frame([(0, 0)])
+        assert net.stats.frame_latencies == [0.0]
+
+    def test_send_frame_validates_origin(self):
+        net = MeshNetwork(Mesh2D(2), np.zeros((2, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            net.nodes[(0, 0)].send_frame([(0, 1), (0, 0)])
+        net.nodes[(0, 0)].send_frame([(0, 0), (0, 1)])
+        net.run_to_quiescence()
+        assert net.stats.frames_delivered == 1
+
+    def test_frame_counts_as_messages(self):
+        net = MeshNetwork(Mesh2D(3), np.zeros((3, 3), dtype=bool))
+        net.inject_frame([(0, 0), (0, 1), (0, 2)], query=42)
+        net.run_to_quiescence()
+        assert net.stats.messages_sent["FRAME"] == 2
+        assert net.stats.query_messages[42] == 2

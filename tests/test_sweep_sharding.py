@@ -188,7 +188,8 @@ class TestPortedExperiments:
         for runner_path, workload_flags in CLI_RUNNERS.values():
             assert callable(_resolve(runner_path))
             assert set(workload_flags) <= {
-                "pairs", "queries", "epochs", "churn", "mode", "des"
+                "pairs", "queries", "epochs", "churn", "mode", "des",
+                "rates", "duration", "capacity",
             }
 
 
