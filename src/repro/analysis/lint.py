@@ -58,6 +58,12 @@ WALL_CLOCK_CALLS = frozenset(
     }
 )
 
+#: D101 — the ONE module allowed to read the wall clock: the telemetry
+#: shim :mod:`repro.obs.clockio`.  Everything else (including the
+#: serving layer's WallClock) imports ``wall_now`` from there, so a
+#: determinism audit of wall-time flow starts from a single site.
+WALL_CLOCK_SANCTIONED = ("obs/clockio.py",)
+
 #: D102 — members of numpy.random that are *not* global-state legacy API.
 NP_RANDOM_ALLOWED = frozenset(
     {
@@ -315,12 +321,14 @@ class _Checker(ast.NodeVisitor):
 
     def _check_call_name(self, node: ast.Call, name: str) -> None:
         if name in WALL_CLOCK_CALLS:
-            self.flag(
-                node,
-                "D101",
-                f"wall-clock call {name}() in library code (results must "
-                "be pure functions of spec + seed)",
-            )
+            if not any(s in self.rel_path for s in WALL_CLOCK_SANCTIONED):
+                self.flag(
+                    node,
+                    "D101",
+                    f"wall-clock call {name}() in library code (results "
+                    "must be pure functions of spec + seed); wall time "
+                    "flows through repro.obs.clockio.wall_now only",
+                )
         if name.startswith("random.") and name.count(".") == 1:
             self.flag(
                 node,

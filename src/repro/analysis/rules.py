@@ -59,8 +59,11 @@ RULES: dict[str, Rule] = {
             rationale=(
                 "time.time()/datetime.now() make results depend on when "
                 "they ran; experiment outputs must be pure functions of "
-                "(spec, seed).  Benchmarks are exempt — timing is their "
-                "job."
+                "(spec, seed).  The one sanctioned read site is "
+                "repro.obs.clockio.wall_now — the telemetry shim the span "
+                "tracer and WallClock import — so auditing wall-time flow "
+                "means auditing that module's callers.  Benchmarks are "
+                "exempt — timing is their job."
             ),
             roles=frozenset({SRC}),
         ),

@@ -37,6 +37,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.mesh.orientation import Orientation
 from repro.mesh.topology import Mesh
 
@@ -121,37 +122,42 @@ def closure_region(
     hi = tuple(int(c) for c in hi)
     if any(a > b for a, b in zip(lo, hi, strict=True)):
         return 0
-    # Extend one layer toward the neighbor side (clipped to the mesh) so
-    # core cells at the box face read true frozen values instead of the
-    # border rule; the extra layer itself is never written.
-    if sign > 0:
-        ext = tuple(
-            slice(a, min(b + 2, k)) for a, b, k in zip(lo, hi, blocked.shape, strict=True)
-        )
-    else:
-        ext = tuple(slice(max(a - 1, 0), b + 1) for a, b in zip(lo, hi, strict=True))
-    view = blocked[ext]
-    core = np.ones(view.shape, dtype=bool)
-    for axis in range(ndim):
-        span = hi[axis] - lo[axis] + 1
-        idx = [slice(None)] * ndim
+    with obs.span(
+        "closure_region", cat="kernel", sign=sign, lo=list(lo), hi=list(hi)
+    ) as sp:
+        # Extend one layer toward the neighbor side (clipped to the mesh) so
+        # core cells at the box face read true frozen values instead of the
+        # border rule; the extra layer itself is never written.
         if sign > 0:
-            idx[axis] = slice(span, None)
+            ext = tuple(
+                slice(a, min(b + 2, k))
+                for a, b, k in zip(lo, hi, blocked.shape, strict=True)
+            )
         else:
-            idx[axis] = slice(None, view.shape[axis] - span)
-        core[tuple(idx)] = False
-    changed = 0
-    while True:
-        neigh = _shifted_blocked(view, 0, sign)
-        for axis in range(1, ndim):
-            neigh &= _shifted_blocked(view, axis, sign)
-        neigh &= ~view
-        neigh &= core
-        new = int(neigh.sum())
-        if new == 0:
-            return changed
-        changed += new
-        view |= neigh
+            ext = tuple(slice(max(a - 1, 0), b + 1) for a, b in zip(lo, hi, strict=True))
+        view = blocked[ext]
+        core = np.ones(view.shape, dtype=bool)
+        for axis in range(ndim):
+            span = hi[axis] - lo[axis] + 1
+            idx = [slice(None)] * ndim
+            if sign > 0:
+                idx[axis] = slice(span, None)
+            else:
+                idx[axis] = slice(None, view.shape[axis] - span)
+            core[tuple(idx)] = False
+        changed = 0
+        while True:
+            neigh = _shifted_blocked(view, 0, sign)
+            for axis in range(1, ndim):
+                neigh &= _shifted_blocked(view, axis, sign)
+            neigh &= ~view
+            neigh &= core
+            new = int(neigh.sum())
+            if new == 0:
+                sp.set(changed=changed)
+                return changed
+            changed += new
+            view |= neigh
 
 
 def _closure_reference(fault_mask: np.ndarray, sign: int) -> np.ndarray:

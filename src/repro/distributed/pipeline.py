@@ -58,6 +58,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 from scipy import ndimage
 
+from repro import obs
 from repro.analysis.sanitize import maybe_sanitize_network
 from repro.core.labelling import SAFE
 from repro.distributed.boundary_proto import BoundaryMixin
@@ -159,16 +160,20 @@ class DistributedMCCPipeline:
         """Phase 1+2: labelling, then identification and boundaries."""
         if self._built:
             return self
-        self.net.start()
-        self.net.run_to_quiescence()
-        self._phase_messages["labelling"] = self.net.stats.total_messages
-        for coord, node in self.net.nodes.items():
-            if not self.net.is_faulty(coord):
-                self.net.sim.schedule(0.0, node.start_identification)
-        self.net.run_to_quiescence()
-        self._phase_messages["identification+boundaries"] = (
-            self.net.stats.total_messages - self._phase_messages["labelling"]
-        )
+        with obs.span("pipeline_build", cat="distributed") as sp:
+            sp.set_vt(start=self.net.sim.now)
+            self.net.start()
+            self.net.run_to_quiescence()
+            self._phase_messages["labelling"] = self.net.stats.total_messages
+            for coord, node in self.net.nodes.items():
+                if not self.net.is_faulty(coord):
+                    self.net.sim.schedule(0.0, node.start_identification)
+            self.net.run_to_quiescence()
+            self._phase_messages["identification+boundaries"] = (
+                self.net.stats.total_messages - self._phase_messages["labelling"]
+            )
+            sp.set_vt(end=self.net.sim.now)
+            sp.set(messages=self.net.stats.total_messages)
         self._built = True
         return self
 
@@ -202,6 +207,11 @@ class DistributedMCCPipeline:
         if any(s > d for s, d in zip(source, dest, strict=True)):
             raise ValueError(f"canonical frame required: {source} !<= {dest}")
         query_id = next(self._query_ids)
+        mark = obs.instant(
+            "submit", cat="distributed", query_id=query_id, at=float(at)
+        )
+        if mark is not None:
+            mark.vt0 = mark.vt1 = self.net.sim.now
         handle = QueryHandle(
             query_id=query_id,
             source=source,
@@ -257,7 +267,12 @@ class DistributedMCCPipeline:
         """
         if not self._inflight:
             return []
-        self.net.run_to_quiescence()
+        with obs.span(
+            "pipeline_drain", cat="distributed", sessions=len(self._inflight)
+        ) as sp:
+            sp.set_vt(start=self.net.sim.now)
+            self.net.run_to_quiescence()
+            sp.set_vt(end=self.net.sim.now)
         out: list[dict[str, Any]] = []
         for handle in self._inflight:
             if handle.result is None:
@@ -319,32 +334,38 @@ class DistributedMCCPipeline:
         if not self._built:
             self.build()
         mesh_cells = self._check_event_cells(cells, want_faulty=kind == "repair")
-        flushed = self.drain()
-        msgs_before = self.net.stats.total_messages
-        pre_status = self.labels_grid()
-        if kind == "inject":
-            reset_count, lost_owners = self._stabilize_inject(mesh_cells)
-        else:
-            reset_count, lost_owners = self._stabilize_repair(
-                mesh_cells, pre_status
+        with obs.span(
+            "pipeline_event", cat="distributed", kind=kind, cells=len(mesh_cells)
+        ) as sp:
+            sp.set_vt(start=self.net.sim.now)
+            flushed = self.drain()
+            msgs_before = self.net.stats.total_messages
+            pre_status = self.labels_grid()
+            if kind == "inject":
+                reset_count, lost_owners = self._stabilize_inject(mesh_cells)
+            else:
+                reset_count, lost_owners = self._stabilize_repair(
+                    mesh_cells, pre_status
+                )
+            self.net.run_to_quiescence()
+            post_status = self.labels_grid()
+            diff = np.argwhere(pre_status != post_status)
+            changed = {tuple(int(v) for v in c) for c in diff}
+            changed.update(mesh_cells)
+            restart_mask, affected_cells = self._ident_region(
+                pre_status, post_status, changed, lost_owners
             )
-        self.net.run_to_quiescence()
-        post_status = self.labels_grid()
-        diff = np.argwhere(pre_status != post_status)
-        changed = {tuple(int(v) for v in c) for c in diff}
-        changed.update(mesh_cells)
-        restart_mask, affected_cells = self._ident_region(
-            pre_status, post_status, changed, lost_owners
-        )
-        pruned = self._prune_sections(restart_mask, affected_cells)
-        restarted = self._restart_identification(restart_mask)
-        self.net.run_to_quiescence()
-        self.epoch += 1
-        stabilize_msgs = self.net.stats.total_messages - msgs_before
-        self._phase_messages["restabilization"] = (
-            self._phase_messages.get("restabilization", 0) + stabilize_msgs
-        )
-        region_cells = int(restart_mask.sum())
+            pruned = self._prune_sections(restart_mask, affected_cells)
+            restarted = self._restart_identification(restart_mask)
+            self.net.run_to_quiescence()
+            self.epoch += 1
+            stabilize_msgs = self.net.stats.total_messages - msgs_before
+            self._phase_messages["restabilization"] = (
+                self._phase_messages.get("restabilization", 0) + stabilize_msgs
+            )
+            region_cells = int(restart_mask.sum())
+            sp.set_vt(end=self.net.sim.now)
+            sp.set(epoch=self.epoch, messages=stabilize_msgs)
         return {
             "kind": kind,
             "cells": tuple(mesh_cells),

@@ -75,6 +75,7 @@ def run_rfb_variants(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
 ) -> ResultTable:
     """A1 sweep: average captured nodes per RFB variant per fault count."""
     spec = SweepSpec(
@@ -85,7 +86,8 @@ def run_rfb_variants(
         seed=seed,
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )
 
 
@@ -119,6 +121,7 @@ def run_mesh4d_extension(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
 ) -> ResultTable:
     """A4 sweep: average MCC capture in higher-dimension meshes."""
     spec = SweepSpec(
@@ -129,5 +132,6 @@ def run_mesh4d_extension(
         seed=seed,
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )

@@ -295,6 +295,7 @@ def run_churn(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
     mode: str = "mcc",
     des: bool = False,
 ) -> ResultTable:
@@ -322,5 +323,6 @@ def run_churn(
         params=params,
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )

@@ -159,6 +159,7 @@ def run_des_routing(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; distributed routing quality metrics.
 
@@ -176,5 +177,6 @@ def run_des_routing(
         params={"queries": queries},
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )

@@ -224,6 +224,7 @@ def run_fidelity(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; agreement rates between model and oracle.
 
@@ -241,5 +242,6 @@ def run_fidelity(
         params={"pairs": pairs},
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )

@@ -42,6 +42,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.model_cache import cached_labelled
 from repro.distributed.pipeline import DistributedMCCPipeline
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair
@@ -182,9 +183,11 @@ def evaluate_pattern(spec: SweepSpec, task: PatternTask) -> dict[str, Any]:
 
 
 def _pct(lat: list[float], q: float) -> float:
-    if not lat:
-        return 0.0
-    return float(np.percentile(np.asarray(lat, dtype=float), q))
+    # obs.Histogram.percentile is the same np.percentile math (and
+    # 0.0-when-empty convention) the serve layer uses — exact parity.
+    hist = obs.Histogram("frame_latency")
+    hist.values.extend(lat)
+    return hist.percentile(q)
 
 
 def reduce_records(
@@ -294,6 +297,7 @@ def run_load_sweep(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
 ) -> ResultTable:
     """Sweep offered load over fault counts on contended links.
 
@@ -316,5 +320,6 @@ def run_load_sweep(
         },
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )

@@ -89,6 +89,7 @@ def run_protocol_overhead(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; mean protocol message counts per phase.
 
@@ -105,5 +106,6 @@ def run_protocol_overhead(
         seed=seed,
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )

@@ -114,6 +114,7 @@ def run_region_overhead(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; average region overhead per model.
 
@@ -130,5 +131,6 @@ def run_region_overhead(
         params={"clustered": clustered},
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )

@@ -111,6 +111,7 @@ def run_success_rate(
     shards: int | None = None,
     checkpoint: str | None = None,
     save: str | None = None,
+    trace: str | None = None,
 ) -> ResultTable:
     """Sweep fault counts; success rate per model over random pairs.
 
@@ -127,5 +128,6 @@ def run_success_rate(
         params={"pairs": pairs},
     )
     return run_sweep(
-        spec, workers=workers, shards=shards, checkpoint=checkpoint, save=save
+        spec, workers=workers, shards=shards, checkpoint=checkpoint,
+        save=save, trace=trace,
     )

@@ -13,7 +13,7 @@ whole evaluation resumable (one journal per table).
 entry point honours: the **workload** (shape, fault counts, trials,
 seed, per-experiment knobs like ``pairs``/``queries``/``epochs``) is
 fixed at construction, while the **execution** kwargs — ``workers``,
-``shards``, ``checkpoint``, ``save``, ``mode`` — are passed to
+``shards``, ``checkpoint``, ``save``, ``trace``, ``mode`` — are passed to
 :meth:`ExperimentSpec.run` and forwarded uniformly.  The
 ``python -m repro.parallel`` CLI and :func:`run_all` both dispatch
 through it, so every tier accepts the same flags and builds its
@@ -66,7 +66,7 @@ PROFILES = {
 
 
 #: Execution kwargs shared by every experiment entry point.
-SHARED_KWARGS = ("workers", "shards", "checkpoint", "save", "mode")
+SHARED_KWARGS = ("workers", "shards", "checkpoint", "save", "trace", "mode")
 
 
 @dataclass(frozen=True)
@@ -124,6 +124,7 @@ class ExperimentSpec:
         shards: int | None = None,
         checkpoint: str | None = None,
         save: str | None = None,
+        trace: str | None = None,
         mode: str | None = None,
     ) -> ResultTable:
         """Execute via the experiment's ``run_*`` wrapper; return the table."""
@@ -148,6 +149,7 @@ class ExperimentSpec:
             shards=shards,
             checkpoint=checkpoint,
             save=save,
+            trace=trace,
             **kwargs,
         )
 

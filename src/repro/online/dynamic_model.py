@@ -53,6 +53,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.labelling import (
     CANT_REACH,
     FAULTY,
@@ -426,33 +427,45 @@ class DynamicFaultModel:
     def inject(self, cells: Iterable[Sequence[int]]) -> FaultEvent:
         """Mark ``cells`` faulty; labels escalate incrementally."""
         mesh_cells = self._check_cells(cells, want_faulty=False)
-        for c in mesh_cells:
-            self.fault_mask[c] = True
-        self.epoch += 1
-        event = FaultEvent(
-            epoch=self.epoch, kind="inject", cells=tuple(mesh_cells)
-        )
-        for signs, cls in self._classes.items():
-            canon = [cls.orientation.map_coord(c) for c in mesh_cells]
-            event.classes[signs] = cls.inject(canon, event)
-        self._account(event, "injects")
+        with obs.span("fault_inject", cat="online", cells=len(mesh_cells)) as sp:
+            for c in mesh_cells:
+                self.fault_mask[c] = True
+            self.epoch += 1
+            event = FaultEvent(
+                epoch=self.epoch, kind="inject", cells=tuple(mesh_cells)
+            )
+            for signs, cls in self._classes.items():
+                canon = [cls.orientation.map_coord(c) for c in mesh_cells]
+                event.classes[signs] = cls.inject(canon, event)
+            self._account(event, "injects")
+            sp.set(
+                epoch=event.epoch,
+                dirty_cells=event.dirty_cells,
+                full_recomputes=event.full_recomputes,
+            )
         return event
 
     def repair(self, cells: Iterable[Sequence[int]]) -> FaultEvent:
         """Mark ``cells`` healthy again; affected slabs are relabelled."""
         mesh_cells = self._check_cells(cells, want_faulty=True)
-        for c in mesh_cells:
-            self.fault_mask[c] = False
-        self.epoch += 1
-        event = FaultEvent(
-            epoch=self.epoch, kind="repair", cells=tuple(mesh_cells)
-        )
-        for signs, cls in self._classes.items():
-            canon = [cls.orientation.map_coord(c) for c in mesh_cells]
-            event.classes[signs] = cls.repair(
-                canon, event, self.full_recompute_fraction
+        with obs.span("fault_repair", cat="online", cells=len(mesh_cells)) as sp:
+            for c in mesh_cells:
+                self.fault_mask[c] = False
+            self.epoch += 1
+            event = FaultEvent(
+                epoch=self.epoch, kind="repair", cells=tuple(mesh_cells)
             )
-        self._account(event, "repairs")
+            for signs, cls in self._classes.items():
+                canon = [cls.orientation.map_coord(c) for c in mesh_cells]
+                event.classes[signs] = cls.repair(
+                    canon, event, self.full_recompute_fraction
+                )
+            self._account(event, "repairs")
+            sp.set(
+                epoch=event.epoch,
+                dirty_cells=event.dirty_cells,
+                full_recomputes=event.full_recomputes,
+            )
         return event
 
     def _account(self, event: FaultEvent, kind: str) -> None:

@@ -81,6 +81,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.util.records import (
     ResultTable,
     TablePersistenceError,
@@ -359,7 +360,7 @@ def partition_tasks(
 
 
 def evaluate_shard(
-    spec: SweepSpec, tasks: Sequence[PatternTask]
+    spec: SweepSpec, tasks: Sequence[PatternTask], trace: bool = False
 ) -> list[dict[str, Any]]:
     """Evaluate one shard's patterns; records tagged with task positions.
 
@@ -367,12 +368,30 @@ def evaluate_shard(
     naming the task's global index, fault count, trial, and seed, so a
     failure deep inside a long parallel sweep identifies exactly which
     pattern died and how to replay it.
+
+    With ``trace=True`` each pattern evaluates under its own
+    :class:`repro.obs.Tracer` (one Perfetto track per pattern, rooted in
+    a ``pattern`` harness span) and ships its span buffer on the record
+    as ``"_spans"`` — plain dicts, popped again by :func:`run_sweep`
+    before any journaling so checkpoint bytes never change.
     """
     evaluator = _resolve(EXPERIMENTS[spec.experiment][0])
     records = []
     for task in tasks:
+        tracer = None
         try:
-            record = dict(evaluator(spec, task))
+            if trace:
+                tracer = obs.Tracer(track=f"pattern-{task.index:04d}")
+                with obs.tracing(tracer), tracer.span(
+                    "pattern",
+                    cat="harness",
+                    index=task.index,
+                    faults=task.count,
+                    trial=task.trial,
+                ):
+                    record = dict(evaluator(spec, task))
+            else:
+                record = dict(evaluator(spec, task))
         except Exception as exc:
             raise PatternTaskError(
                 f"pattern task {task.index} failed (experiment="
@@ -384,11 +403,13 @@ def evaluate_shard(
         record["_index"] = task.index
         record["_count_index"] = task.count_index
         record["_count"] = task.count
+        if tracer is not None:
+            record["_spans"] = [sp.to_dict() for sp in tracer.spans]
         records.append(record)
     return records
 
 
-def _evaluate_shard_star(args: tuple[SweepSpec, list[PatternTask]]):
+def _evaluate_shard_star(args: tuple[SweepSpec, list[PatternTask], bool]):
     return evaluate_shard(*args)
 
 
@@ -453,6 +474,7 @@ def run_sweep(
     shards: int | None = None,
     checkpoint: str | os.PathLike | None = None,
     save: str | os.PathLike | None = None,
+    trace: str | os.PathLike | None = None,
 ) -> ResultTable:
     """Run the sweep: plan, partition, evaluate (maybe in parallel), reduce.
 
@@ -473,6 +495,15 @@ def run_sweep(
     ``save`` writes the merged table as durable JSONL — the same flag
     every ``run_*`` entry point and the CLI expose (the shared kwargs
     contract normalized by ``repro.experiments.harness.ExperimentSpec``).
+
+    ``trace`` names a Perfetto trace-event JSON output: every evaluated
+    pattern runs under a per-task tracer (one trace track per pattern)
+    and the buffers merge in global task order, so the trace's
+    virtual-time stream is byte-identical for any shard/worker layout.
+    Span buffers ride the in-memory records only — they are stripped
+    before checkpoint journaling (checkpoint bytes are unchanged by
+    tracing), which also means patterns resumed *from* a checkpoint
+    contribute no spans.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -510,10 +541,18 @@ def run_sweep(
     shard_lists = partition_tasks(
         remaining, shards if shards is not None else workers
     )
-    work = [(spec, shard) for shard in shard_lists if shard]
+    work = [(spec, shard, trace is not None) for shard in shard_lists if shard]
     new_records: list[dict[str, Any]] = []
+    spans_by_index: dict[int, list[dict[str, Any]]] = {}
 
     def absorb(shard_records: list[dict[str, Any]]) -> None:
+        # Span buffers never reach the journal or the reducer: pop them
+        # here so checkpoint files and tables are byte-identical whether
+        # or not the run was traced.
+        for r in shard_records:
+            spans = r.pop("_spans", None)
+            if spans is not None:
+                spans_by_index[r["_index"]] = spans
         if journal is None:
             new_records.extend(shard_records)
             return
@@ -528,14 +567,14 @@ def run_sweep(
 
     try:
         if workers == 1 or len(work) <= 1:
-            for s, shard in work:
+            for s, shard, traced in work:
                 if journal is None:
-                    absorb(evaluate_shard(s, shard))
+                    absorb(evaluate_shard(s, shard, traced))
                 else:
                     # Per-pattern journal granularity: a kill mid-shard
                     # loses only the pattern being evaluated.
                     for task in shard:
-                        absorb(evaluate_shard(s, [task]))
+                        absorb(evaluate_shard(s, [task], traced))
         else:
             # Fork is cheap and safe on Linux; elsewhere take the platform
             # default (macOS forks crash in Accelerate/objc after numpy
@@ -553,6 +592,13 @@ def run_sweep(
     finally:
         if journal is not None:
             journal.close()
+    if trace is not None:
+        # Merge worker buffers in global task order: the same stream for
+        # any shard/worker layout (sequence numbers reassigned on absorb).
+        merged = obs.Tracer()
+        for index in sorted(spans_by_index):
+            merged.absorb(spans_by_index[index])
+        obs.write_perfetto(trace, merged.spans)
     table = reduce_records(spec, list(done.values()) + new_records)
     try:
         table.fingerprint = spec.fingerprint()
@@ -630,6 +676,12 @@ def main(argv: Sequence[str] | None = None) -> None:
         default=None,
         help="also write the merged table as durable JSONL",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto trace-event JSON of the sweep's spans",
+    )
     parser.add_argument("--csv", action="store_true", help="emit CSV")
     args = parser.parse_args(argv)
     if args.experiment_name and args.experiment:
@@ -666,6 +718,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         shards=args.shards,
         checkpoint=args.checkpoint,
         save=args.save,
+        trace=args.trace,
         mode=args.mode if "mode" in workload_flags else None,
     )
     print(table.to_csv() if args.csv else table.render())

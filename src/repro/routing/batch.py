@@ -40,6 +40,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.mesh.coords import Coord
 from repro.mesh.orientation import Orientation
 from repro.routing.engine import (
@@ -140,15 +141,17 @@ class RoutingService:
     ) -> list[RouteResult]:
         """Route every (source, dest) pair; results in input order."""
         pairs = [_as_pair(p) for p in pairs]
-        results: list[RouteResult | None] = [None] * len(pairs)
-        deferred: list | None = [] if self.replay_policy else None
-        for orientation, model, members in self._grouped(pairs, results):
-            self._route_group(orientation, model, members, results, deferred)
-        if deferred is not None:
-            # Input order = the per-call draw order for stateful policies.
-            deferred.sort(key=lambda job: job[0])
-            for idx, model, orientation, s, d in deferred:
-                results[idx] = self.router._forward(model, orientation, s, d)
+        with obs.span("route_batch", cat="routing", n=len(pairs)) as sp:
+            results: list[RouteResult | None] = [None] * len(pairs)
+            deferred: list | None = [] if self.replay_policy else None
+            for orientation, model, members in self._grouped(pairs, results):
+                self._route_group(orientation, model, members, results, deferred)
+            if deferred is not None:
+                # Input order = the per-call draw order for stateful policies.
+                deferred.sort(key=lambda job: job[0])
+                for idx, model, orientation, s, d in deferred:
+                    results[idx] = self.router._forward(model, orientation, s, d)
+            sp.set(delivered=sum(1 for r in results if r is not None and r.delivered))
         return results  # type: ignore[return-value]
 
     def feasible_batch(
@@ -164,12 +167,14 @@ class RoutingService:
         if self.mode == "blind":
             raise ValueError("blind mode has no feasibility model")
         pairs = [_as_pair(p) for p in pairs]
-        out = np.zeros(len(pairs), dtype=bool)
-        results: list[RouteResult | None] = [None] * len(pairs)
-        for _orientation, model, members in self._grouped(pairs, results):
-            for chunk in self._primed_chunks(model, members):
-                for indices, sources, dest in chunk:
-                    out[indices] = self._group_feasible(model, sources, dest)
+        with obs.span("feasible_batch", cat="routing", n=len(pairs)) as sp:
+            out = np.zeros(len(pairs), dtype=bool)
+            results: list[RouteResult | None] = [None] * len(pairs)
+            for _orientation, model, members in self._grouped(pairs, results):
+                for chunk in self._primed_chunks(model, members):
+                    for indices, sources, dest in chunk:
+                        out[indices] = self._group_feasible(model, sources, dest)
+            sp.set(feasible=int(out.sum()))
         return out
 
     # -- batch decomposition -----------------------------------------------

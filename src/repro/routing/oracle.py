@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.mesh.orientation import Orientation
 from repro.mesh.regions import Box
 
@@ -106,6 +107,18 @@ def monotone_flood_many(open_mask: np.ndarray, seed_masks: np.ndarray) -> np.nda
         raise ValueError(
             f"seed batch shape {seed_masks.shape} must be (B, *{open_mask.shape})"
         )
+    # The span wraps the whole batched DP once; the slab recursion lives
+    # in the private helper so nested self-calls do not emit per-slab spans.
+    with obs.span(
+        "monotone_flood_many", cat="kernel",
+        batch=int(seed_masks.shape[0]), shape=list(open_mask.shape),
+    ):
+        return _monotone_flood_many_rec(open_mask, seed_masks)
+
+
+def _monotone_flood_many_rec(
+    open_mask: np.ndarray, seed_masks: np.ndarray
+) -> np.ndarray:
     if open_mask.ndim == 1:
         return _flood_1d_rows(
             np.broadcast_to(open_mask, seed_masks.shape), seed_masks
@@ -113,7 +126,7 @@ def monotone_flood_many(open_mask: np.ndarray, seed_masks: np.ndarray) -> np.nda
     out = np.zeros_like(seed_masks)
     carry = np.zeros((seed_masks.shape[0],) + open_mask.shape[1:], dtype=bool)
     for x0 in range(open_mask.shape[0]):
-        slab = monotone_flood_many(open_mask[x0], seed_masks[:, x0] | carry)
+        slab = _monotone_flood_many_rec(open_mask[x0], seed_masks[:, x0] | carry)
         out[:, x0] = slab
         carry = slab
     return out

@@ -37,6 +37,8 @@ def main(argv: Sequence[str] | None = None) -> None:
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--save", metavar="PATH", default=None,
                         help="also write the table as durable JSONL")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Perfetto trace-event JSON of the sweep")
     parser.add_argument("--csv", action="store_true", help="emit CSV")
     args = parser.parse_args(argv)
     table = run_offered_load_sweep(
@@ -52,6 +54,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         mode=args.mode,
         seed=args.seed,
         save=args.save,
+        trace_out=args.trace,
     )
     print(table.to_csv() if args.csv else table.render())
 

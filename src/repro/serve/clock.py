@@ -12,11 +12,11 @@ same service + load-generator code runs in two regimes:
   seeded workload replays **bit-for-bit**: same arrivals, same batch
   compositions, same virtual latencies.  This is the clock every test
   and every persisted load table uses.
-* :class:`WallClock` — real time (``time.monotonic`` /
+* :class:`WallClock` — real time (:mod:`repro.obs.clockio` /
   ``asyncio.sleep``) for live soak runs where wall-clock throughput is
-  the point.  This class is the project's **sanctioned clock shim**:
-  the one place library code may read the wall clock (the ``repro-check``
-  D101 rule keeps it out of everything else), so a determinism audit
+  the point.  Wall time comes from the project's one sanctioned shim,
+  :func:`repro.obs.clockio.wall_now` (the ``repro-check`` D101 rule
+  keeps direct reads out of everything else), so a determinism audit
   of the serving layer reduces to "which clock was injected".
 
 The settle loop after :meth:`~VirtualClock.advance` re-yields to the
@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import asyncio
 import heapq
-import time
 from typing import Protocol
+
+from repro.obs.clockio import wall_now
 
 
 class Clock(Protocol):
@@ -125,20 +126,21 @@ class VirtualClock:
 
 
 class WallClock:
-    """Real time — the sanctioned wall-clock shim for live serving.
+    """Real time — the wall-clock time source for live serving.
 
-    Library code outside this class must never read the wall clock
-    (repro-check D101): injecting :class:`VirtualClock` instead must be
-    sufficient to make any serve-layer run deterministic.
+    Library code must never read the wall clock directly (repro-check
+    D101); this class goes through the one sanctioned shim,
+    :func:`repro.obs.clockio.wall_now`.  Injecting :class:`VirtualClock`
+    instead must be sufficient to make any serve-layer run
+    deterministic.
     """
 
     virtual = False
 
     def now(self) -> float:
-        # The single sanctioned wall-clock read in library code: live
-        # soak latencies/throughput are wall-clock by definition, and
+        # Live soak latencies/throughput are wall-clock by definition;
         # every deterministic consumer injects VirtualClock instead.
-        return time.monotonic()  # repro-check: disable=D101 -- sanctioned clock shim: live-mode time source, deterministic runs inject VirtualClock
+        return wall_now()
 
     async def sleep(self, delay: float) -> None:
         await asyncio.sleep(delay)

@@ -34,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.workloads import random_fault_mask, sample_safe_pair
 from repro.mesh.coords import Coord
 from repro.online.events import FaultEventStream
@@ -253,7 +254,11 @@ def summarize(
 ) -> dict[str, float | int]:
     """One table row: offered load vs latency percentiles and SLO rates."""
     served = [r for r in records if r.status != "shed"]
-    latencies = np.asarray([r.latency for r in served], dtype=float)
+    # The obs latency histogram reproduces the former inline
+    # np.percentile math bit-for-bit (seed-replay byte-identity).
+    latencies = obs.Histogram("load_latency")
+    for r in served:
+        latencies.observe(r.latency)
     completed_span = max((r.completed for r in served), default=0.0)
     row: dict[str, float | int] = {
         "profile": trace.profile,
@@ -266,9 +271,9 @@ def summarize(
             if served
             else 0.0
         ),
-        "p50_latency": float(np.percentile(latencies, 50)) if served else 0.0,
-        "p90_latency": float(np.percentile(latencies, 90)) if served else 0.0,
-        "p99_latency": float(np.percentile(latencies, 99)) if served else 0.0,
+        "p50_latency": latencies.percentile(50),
+        "p90_latency": latencies.percentile(90),
+        "p99_latency": latencies.percentile(99),
         "throughput": (
             len(served) / completed_span if completed_span > 0 else 0.0
         ),
@@ -291,6 +296,7 @@ def run_offered_load_sweep(
     mode: str = "mcc",
     seed: SeedLike = 2005,
     save: str | None = None,
+    trace_out: str | None = None,
 ) -> ResultTable:
     """The latency-percentile-vs-offered-load table (seed-replayable).
 
@@ -299,7 +305,13 @@ def run_offered_load_sweep(
     run on its own service + fresh :class:`VirtualClock`, so the whole
     table — and its ``save``d JSONL bytes — is a pure function of the
     arguments.
+
+    ``trace_out`` writes a Perfetto trace-event JSON of the sweep's
+    spans (one track per offered rate: serve ticks, preemptions, and
+    everything the online model does beneath them).  Tracing never
+    changes the table.
     """
+    tracer = obs.Tracer() if trace_out is not None else None
     seqs = as_seed_sequence(seed).spawn(len(rates))
     table = ResultTable(
         title=(
@@ -326,8 +338,16 @@ def run_offered_load_sweep(
             batch_window=batch_window,
             max_queue_depth=max_queue_depth,
         )
-        records = asyncio.run(run_load(service, trace))
+        if tracer is None:
+            records = asyncio.run(run_load(service, trace))
+        else:
+            rate_tracer = obs.Tracer(track=f"rate-{rate:g}")
+            with obs.tracing(rate_tracer):
+                records = asyncio.run(run_load(service, trace))
+            tracer.absorb([sp.to_dict() for sp in rate_tracer.spans])
         table.add(**summarize(trace, records))
+    if tracer is not None:
+        obs.write_perfetto(trace_out, tracer.spans)
     if save is not None:
         table.save(save)
     return table

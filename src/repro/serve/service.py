@@ -39,6 +39,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.online.dynamic_model import FaultEvent
 from repro.online.service import OnlineRoutingService
 from repro.routing.engine import RouteResult
@@ -94,6 +95,29 @@ class MetricsSnapshot:
     def as_row(self) -> dict[str, float | int]:
         """The snapshot as a flat dict (ResultTable/JSONL friendly)."""
         return dict(self.__dict__)
+
+    def publish(self, registry) -> None:
+        """Feed the SLO fields into an :class:`~repro.obs.MetricsRegistry`.
+
+        Monotone counts become counters, point-in-time fields become
+        gauges — the serve layer's half of the unified telemetry sink.
+        """
+        for name in ("requests", "completed", "shed", "events", "batches"):
+            registry.counter(f"serve_{name}").inc(getattr(self, name))
+        for name in (
+            "max_batch",
+            "mean_batch",
+            "p50_latency",
+            "p99_latency",
+            "max_latency",
+            "throughput",
+            "epoch_lag_mean",
+            "epoch_lag_max",
+            "cache_hit_rate",
+            "epoch",
+            "queue_depth",
+        ):
+            registry.gauge(f"serve_{name}").set(float(getattr(self, name)))
 
 
 class AsyncRoutingService:
@@ -220,13 +244,17 @@ class AsyncRoutingService:
         """
         if kind not in ("inject", "repair"):
             raise ValueError(f"unknown fault-event kind {kind!r}")
-        self._flush_pending()
-        event = (
-            self.online.inject(cells)
-            if kind == "inject"
-            else self.online.repair(cells)
-        )
-        self._events += 1
+        with obs.span("serve_preempt", cat="serve", kind=kind) as sp:
+            sp.set_vt(start=self.clock.now())
+            self._flush_pending()
+            event = (
+                self.online.inject(cells)
+                if kind == "inject"
+                else self.online.repair(cells)
+            )
+            self._events += 1
+            sp.set_vt(end=self.clock.now())
+            sp.set(epoch=event.epoch)
         return event
 
     # -- internals ---------------------------------------------------------
@@ -240,21 +268,24 @@ class AsyncRoutingService:
         """Coalesce the pending queue into one batched online call."""
         if not self._pending:
             return
-        batch, self._pending = self._pending, []
-        tickets = [
-            self.online.submit(source, dest) for _, (source, dest), _ in batch
-        ]
-        flushed = self.online.flush()
-        self.online.take_completed()  # drain the service-side done dict
-        now = self.clock.now()
-        self._batches += 1
-        self._max_batch = max(self._max_batch, len(batch))
-        for (fut, _pair, arrived), ticket in zip(batch, tickets, strict=True):
-            result = flushed[ticket]
-            self._completed += 1
-            self._latencies.append(now - arrived)
-            if not fut.cancelled():
-                fut.set_result(result)
+        with obs.span("serve_tick", cat="serve", batch=len(self._pending)) as sp:
+            sp.set_vt(start=self.clock.now())
+            batch, self._pending = self._pending, []
+            tickets = [
+                self.online.submit(source, dest) for _, (source, dest), _ in batch
+            ]
+            flushed = self.online.flush()
+            self.online.take_completed()  # drain the service-side done dict
+            now = self.clock.now()
+            self._batches += 1
+            self._max_batch = max(self._max_batch, len(batch))
+            for (fut, _pair, arrived), ticket in zip(batch, tickets, strict=True):
+                result = flushed[ticket]
+                self._completed += 1
+                self._latencies.observe(now - arrived)
+                if not fut.cancelled():
+                    fut.set_result(result)
+            sp.set_vt(end=now)
         if getattr(self.clock, "virtual", False):
             self.clock.note()  # keep the driver's settle loop alive
 
@@ -268,21 +299,18 @@ class AsyncRoutingService:
         self._events = 0
         self._batches = 0
         self._max_batch = 0
-        self._latencies: list[float] = []
+        self._latencies = obs.Histogram("serve_latency")
         self._epoch_lag_total = 0
         self._epoch_lag_max = 0
         self._window_start = self.clock.now()
 
     def metrics(self) -> MetricsSnapshot:
         """Snapshot the SLO counters (cheap; callable at any time)."""
-        latencies = self._latencies
-        if latencies:
-            arr = np.asarray(latencies, dtype=float)
-            p50 = float(np.percentile(arr, 50))
-            p99 = float(np.percentile(arr, 99))
-            peak = float(arr.max())
-        else:
-            p50 = p99 = peak = 0.0
+        # Histogram.percentile/max reproduce the former inline
+        # np.percentile math bit-for-bit (replay byte-identity).
+        p50 = self._latencies.percentile(50)
+        p99 = self._latencies.percentile(99)
+        peak = self._latencies.max()
         elapsed = self.clock.now() - self._window_start
         router = self.online.router
         probes = router.evicted + router.retained

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable
 
+from repro import obs
 from repro.simkit.event_queue import EventQueue
 
 
@@ -74,7 +75,11 @@ class Simulator:
         Raises ``RuntimeError`` if the event budget is exhausted — a
         protocol that never quiesces is a bug worth failing loudly on.
         """
-        processed = self.run(max_events=max_events)
+        with obs.span("run_to_quiescence", cat="des") as sp:
+            sp.set_vt(start=self.now)
+            processed = self.run(max_events=max_events)
+            sp.set_vt(end=self.now)
+            sp.set(events=processed)
         if self.queue.peek_time() is not None:
             raise RuntimeError(
                 f"simulation did not quiesce within {max_events} events "

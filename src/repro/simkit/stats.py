@@ -30,6 +30,10 @@ class StatsCollector:
         #: End-to-end latency of each delivered source-routed frame, in
         #: delivery order (deterministic under the DES).
         self.frame_latencies: list[float] = []
+        #: The same latencies keyed by the query session that sent the
+        #: frame — ``on_frame`` always accepted a ``query`` id but used
+        #: to drop it, so per-query latency attribution was impossible.
+        self.frame_latencies_by_query: dict[Hashable, list[float]] = defaultdict(list)
 
     def on_send(self, kind: str, query: Hashable | None = None) -> None:
         self.messages_sent[kind] += 1
@@ -50,6 +54,8 @@ class StatsCollector:
     def on_frame(self, latency: float, query: Hashable | None = None) -> None:
         """Record one delivered frame's end-to-end latency."""
         self.frame_latencies.append(latency)
+        if query is not None:
+            self.frame_latencies_by_query[query].append(latency)
         self.bump("frames[delivered]")
 
     @property
@@ -69,6 +75,27 @@ class StatsCollector:
         out.update(self.gauges)
         return out
 
+    def publish(self, registry) -> None:
+        """Feed this collector into an :class:`~repro.obs.MetricsRegistry`.
+
+        Message counts become labelled counters, gauges become gauges,
+        and frame latencies back a histogram (overall and per query) —
+        the bridge from the DES's ad-hoc counter island to the unified
+        telemetry sink.
+        """
+        for kind, n in sorted(self.messages_sent.items()):
+            registry.counter("sim_messages", kind=kind).inc(n)
+        for query, n in sorted(self.query_messages.items(), key=repr):
+            registry.counter("sim_query_messages", query=query).inc(n)
+        for name, value in sorted(self.gauges.items()):
+            registry.gauge(f"sim_{name}").set(value)
+        hist = registry.histogram("sim_frame_latency")
+        hist.values.extend(self.frame_latencies)
+        for query, lat in sorted(
+            self.frame_latencies_by_query.items(), key=repr
+        ):
+            registry.histogram("sim_frame_latency", query=query).values.extend(lat)
+
     def reset(self) -> None:
         self.messages_sent.clear()
         self.hops.clear()
@@ -76,3 +103,4 @@ class StatsCollector:
         self.query_messages.clear()
         self.link_peak_depth.clear()
         self.frame_latencies.clear()
+        self.frame_latencies_by_query.clear()

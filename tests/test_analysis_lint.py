@@ -67,6 +67,19 @@ def test_d101_allowed_in_benchmarks():
     assert ids(src, "benchmarks/bench_x.py") == []
 
 
+def test_d101_sanctioned_in_obs_clockio():
+    src = """
+        import time
+        def wall_now():
+            return time.perf_counter()
+    """
+    # The telemetry shim is the ONE library module allowed to read the
+    # wall clock; everything else routes through it.
+    assert ids(src, "src/repro/obs/clockio.py") == []
+    assert ids(src, "src/repro/obs/tracer.py") == ["D101"]
+    assert ids(src, "src/repro/serve/clock.py") == ["D101"]
+
+
 # -- D102: global RNG state --------------------------------------------------
 
 

@@ -42,3 +42,13 @@ class TestExamples:
         assert "Served 247/247" in out
         assert "epoch=4" in out
         assert "T7s serve load sweep" in out
+
+    def test_trace_demo(self):
+        out = run_example("trace_demo.py")
+        # Span counts and layer coverage are virtual-order facts and
+        # replay exactly; wall durations are deliberately not printed.
+        assert "Trace: 24 spans across the stack" in out
+        for layer in ("des", "distributed", "harness", "kernel", "routing"):
+            assert layer in out
+        assert "Standalone spans: ['outer', 'inner']" in out
+        assert '"p50": 2.5' in out

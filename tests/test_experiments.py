@@ -167,8 +167,8 @@ class TestExperimentSpec:
 
         for name, (runner_path, _flags) in CLI_RUNNERS.items():
             params = inspect.signature(_resolve(runner_path)).parameters
-            for kwarg in ("workers", "shards", "checkpoint", "save"):
+            for kwarg in ("workers", "shards", "checkpoint", "save", "trace"):
                 assert kwarg in params, f"{name} run_* lacks {kwarg}="
         assert harness.SHARED_KWARGS == (
-            "workers", "shards", "checkpoint", "save", "mode",
+            "workers", "shards", "checkpoint", "save", "trace", "mode",
         )
