@@ -14,6 +14,8 @@ Run standalone for the full comparison::
 """
 
 import argparse
+import json
+import os
 import time
 
 import numpy as np
@@ -105,6 +107,11 @@ def main() -> None:
         default=5.0,
         help="fail when batch speedup drops below this factor",
     )
+    parser.add_argument(
+        "--out-dir",
+        default="bench_artifacts",
+        help="directory for the BENCH_batch_routing.json summary",
+    )
     args = parser.parse_args()
     stats = run_comparison(
         shape=tuple(args.shape),
@@ -113,6 +120,14 @@ def main() -> None:
         mode=args.mode,
         seed=args.seed,
     )
+    # Machine-readable sibling of the printed report (written before the
+    # gates so a failing run still leaves its numbers behind).
+    os.makedirs(args.out_dir, exist_ok=True)
+    summary = dict(stats, shape=list(stats["shape"]), min_speedup=args.min_speedup)
+    out = os.path.join(args.out_dir, "BENCH_batch_routing.json")
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     print(
         f"batched routing  {stats['mode']}  mesh={stats['shape']}  "
         f"pairs={stats['pairs']}  faults={stats['faults']}"
@@ -131,6 +146,7 @@ def main() -> None:
         f"speedup {stats['speedup']:.1f}x below target {args.min_speedup}x"
     )
     print("  results element-wise identical; target met")
+    print(f"  summary       : {out}")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,21 @@
 Tracks the vectorized hot paths: labelling fixed point, monotone-flood
 DP, component extraction, wall construction, and the full per-class
 model build the router amortizes per direction class.
+
+Two front ends over the same kernel cases:
+
+* ``pytest benchmarks/bench_kernels.py`` — pytest-benchmark tracking
+  with its usual statistics;
+* ``PYTHONPATH=src python benchmarks/bench_kernels.py`` — dependency-
+  free best-of-N timing that writes a machine-readable
+  ``BENCH_kernels.json`` to ``--out-dir`` (the same artifact shape as
+  the other benches' ``BENCH_*.json`` summaries).
 """
+
+import argparse
+import json
+import os
+import time
 
 import numpy as np
 
@@ -51,3 +65,67 @@ def test_kernel_walls_3d(benchmark):
     mccs = extract_mccs(lab)
     walls = benchmark(build_walls, mccs)
     assert len(walls) == len(mccs) * 3
+
+
+def build_cases() -> dict:
+    """Name -> zero-arg callable, mirroring the pytest cases above."""
+    mask_2d = random_fault_mask((64, 64), 200, rng=1)
+    mask_3d = random_fault_mask((20, 20, 20), 400, rng=1)
+    flood_mask = random_fault_mask((20, 20, 20), 400, rng=2)
+    seeds = np.zeros((20, 20, 20), dtype=bool)
+    seeds[0, 0, 0] = True
+    rev_mask = random_fault_mask((20, 20, 20), 400, rng=3)
+    comp_lab = label_grid(random_fault_mask((20, 20, 20), 400, rng=4))
+    wall_mccs = extract_mccs(label_grid(random_fault_mask((12, 12, 12), 80, rng=5)))
+    return {
+        "labelling_2d_64": lambda: label_grid(mask_2d),
+        "labelling_3d_20": lambda: label_grid(mask_3d),
+        "oracle_flood_3d": lambda: monotone_flood(~flood_mask, seeds),
+        "reverse_reachable_3d": lambda: reverse_reachable(~rev_mask, (19, 19, 19)),
+        "components_3d": lambda: extract_mccs(comp_lab),
+        "walls_3d": lambda: build_walls(wall_mccs),
+    }
+
+
+def time_case(fn, repeats: int) -> dict:
+    """Best/median wall seconds over ``repeats`` single-shot runs."""
+    fn()  # warm caches / JIT-free but first-touch allocations
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return {
+        "best_s": samples[0],
+        "median_s": samples[len(samples) // 2],
+        "repeats": repeats,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out-dir",
+        default="bench_artifacts",
+        help="directory for the BENCH_kernels.json summary",
+    )
+    args = parser.parse_args()
+    kernels = {}
+    for name, fn in build_cases().items():
+        kernels[name] = time_case(fn, args.repeats)
+        print(
+            f"{name:24s}  best {kernels[name]['best_s'] * 1e3:8.2f} ms   "
+            f"median {kernels[name]['median_s'] * 1e3:8.2f} ms"
+        )
+    os.makedirs(args.out_dir, exist_ok=True)
+    out = os.path.join(args.out_dir, "BENCH_kernels.json")
+    with open(out, "w") as fh:
+        json.dump({"kernels": kernels}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"summary: {out}")
+
+
+if __name__ == "__main__":
+    main()

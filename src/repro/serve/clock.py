@@ -31,10 +31,10 @@ before virtual time moves again.
 from __future__ import annotations
 
 import asyncio
-import heapq
 from typing import Protocol
 
 from repro.obs.clockio import wall_now
+from repro.simkit.event_queue import EventQueue
 
 
 class Clock(Protocol):
@@ -55,10 +55,13 @@ class VirtualClock:
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
-        #: (deadline, seq, future) — seq makes same-deadline wakeups
-        #: fire in registration order (deterministic tie-breaking).
-        self._timers: list[tuple[float, int, asyncio.Future]] = []
-        self._seq = 0
+        #: Timers ride the simkit :class:`EventQueue` (the calendar
+        #: queue): deadlines are pushed with the queue's monotone seq,
+        #: so same-deadline wakeups fire in registration order —
+        #: deterministic tie-breaking, identical to the old local heap.
+        self._timers = EventQueue()
+        #: Futures still registered in the queue (for pending counts).
+        self._futs: set[asyncio.Future] = set()
         #: Monotone activity counter; the settle loop runs until one
         #: full yield round leaves it unchanged.
         self.activity = 0
@@ -68,7 +71,7 @@ class VirtualClock:
 
     def pending_timers(self) -> int:
         """Live (non-cancelled) timers currently registered."""
-        return sum(1 for _, _, fut in self._timers if not fut.cancelled())
+        return sum(1 for fut in self._futs if not fut.cancelled())
 
     def note(self) -> None:
         """Mark externally visible progress (keeps the settle loop going)."""
@@ -84,8 +87,8 @@ class VirtualClock:
             await asyncio.sleep(0)
             return
         fut = asyncio.get_running_loop().create_future()
-        heapq.heappush(self._timers, (float(when), self._seq, fut))
-        self._seq += 1
+        self._timers.push(float(when), fut)
+        self._futs.add(fut)
         self.activity += 1
         await fut
 
@@ -99,17 +102,30 @@ class VirtualClock:
         created tasks get to run and register their first timers.
         """
         await self._settle()
-        while self._timers and self._timers[0][2].cancelled():
-            heapq.heappop(self._timers)
-        if not self._timers:
+        timers = self._timers
+        futs = self._futs
+        when = None
+        due: list[asyncio.Future] = []
+        # Pop the earliest deadline group, discarding cancelled timers
+        # along the way; peek-before-pop keeps later groups untouched so
+        # their registration order survives for the next advance.
+        while True:
+            next_time = timers.peek_time()
+            if next_time is None or (when is not None and next_time != when):
+                break
+            _, fut = timers.pop()
+            futs.discard(fut)
+            if fut.cancelled():
+                continue
+            if when is None:
+                when = next_time
+            due.append(fut)
+        if when is None:
             return False
-        when = self._timers[0][0]
         self._now = when
-        while self._timers and self._timers[0][0] == when:
-            _, _, fut = heapq.heappop(self._timers)
-            if not fut.cancelled():
-                fut.set_result(None)
-                self.activity += 1
+        for fut in due:
+            fut.set_result(None)
+            self.activity += 1
         await self._settle()
         return True
 

@@ -1,8 +1,34 @@
-"""Deterministic binary-heap event queue.
+"""Deterministic event queues: a calendar queue and its heap baseline.
 
-Events at equal timestamps fire in insertion order (a monotone sequence
-number breaks ties), so simulations are bit-for-bit reproducible — the
-property every debugging session and every regression test relies on.
+Both implementations share one contract, and every simulation property
+rests on it: events pop in ``(time, seq)`` order, where ``seq`` is a
+monotone insertion counter — events at equal timestamps fire in
+insertion order, so simulations are bit-for-bit reproducible.
+
+:class:`CalendarEventQueue` (the default, exported as ``EventQueue``)
+is the fast path.  DES workloads on this mesh are *dense*: with unit
+link delays, almost every pending event lives within a couple of time
+units of ``now``, so a binary heap pays a per-event ``log n`` reorder
+for structure the workload never needs.  The calendar queue instead
+drops events into fixed-width time buckets (``epoch = floor(time /
+width)``), keeps buckets unsorted until drained, and sorts each bucket
+exactly once — one C ``list.sort`` per bucket amortizes the ordering
+cost across every event in it, and pops become ``list.pop()`` off a
+reverse-sorted stack.  Occupied epochs sit in a small min-heap, so
+sparse or irregular schedules degrade gracefully to heap behaviour
+(one heap op per *bucket*, never worse than one per event) instead of
+scanning empty buckets.  The bucket width resizes automatically when
+the observed occupancy skews (too many events per bucket → pending
+re-sorts get expensive → halve; chronically singleton buckets → the
+epoch heap does all the work → double), rebuilding pending events
+under the new width; ordering is width-independent because ``floor``
+is monotone, so a resize can never reorder events.
+
+:class:`HeapEventQueue` is the original binary-heap implementation,
+kept verbatim as the semantic reference: the hypothesis property tests
+drive both queues through identical op sequences and demand identical
+behaviour, and ``benchmarks/bench_event_loop.py`` uses it as the
+pinned baseline for the ≥2x events/sec CI gate.
 """
 
 from __future__ import annotations
@@ -12,8 +38,10 @@ import itertools
 import math
 from typing import Any, Callable
 
+__all__ = ["EventQueue", "CalendarEventQueue", "HeapEventQueue"]
 
-class EventQueue:
+
+class HeapEventQueue:
     """Min-heap of (time, seq, action) with stable FIFO tie-breaking."""
 
     def __init__(self) -> None:
@@ -45,16 +73,24 @@ class EventQueue:
             self._live.discard(handle)
             self._cancelled.add(handle)
 
-    def pop(self) -> tuple[float, Callable[[], Any]] | None:
-        """Earliest live event, or None when empty."""
+    def pop_event(self) -> tuple[float, int, Callable[[], Any]] | None:
+        """Earliest live (time, seq, action) stored triple, or None."""
         while self._heap:
-            time, seq, action = heapq.heappop(self._heap)
+            item = heapq.heappop(self._heap)
+            seq = item[1]
             if seq in self._cancelled:
                 self._cancelled.discard(seq)
                 continue
             self._live.discard(seq)
-            return time, action
+            return item
         return None
+
+    def pop(self) -> tuple[float, Callable[[], Any]] | None:
+        """Earliest live event, or None when empty."""
+        item = self.pop_event()
+        if item is None:
+            return None
+        return item[0], item[2]
 
     def peek_time(self) -> float | None:
         """Timestamp of the next live event without removing it."""
@@ -72,3 +108,312 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
+
+
+#: Resize heuristics for :class:`CalendarEventQueue`.  Checked every
+#: ``_RESIZE_CHECK`` drained buckets: above ``_MAX_AVG`` events/bucket
+#: the width halves, below ``_MIN_AVG`` (with a non-trivial backlog) it
+#: doubles.  Widths stay powers of two within [2^-20, 2^20] so epoch
+#: arithmetic is exact and a pathological schedule cannot drive the
+#: width to zero or infinity.
+_RESIZE_CHECK = 64
+_MAX_AVG = 512.0
+_MIN_AVG = 1.5
+_MIN_WIDTH = 2.0 ** -20
+_MAX_WIDTH = 2.0 ** 20
+
+#: Epoch ceiling: times whose ``time / width`` exceeds this all share
+#: one far-future bucket.  Clamping keeps the epoch computation finite
+#: for any finite time and is order-safe — bucket assignment only needs
+#: to be monotone in time, and the in-bucket sort does the rest.
+_EPOCH_CAP = 2.0 ** 62
+
+#: Hoisted so the push fast path pays one global load, not a module
+#: attribute lookup, for its infinity check.
+_INF = math.inf
+
+
+class CalendarEventQueue:
+    """Fixed-width time buckets, lazily sorted on drain.
+
+    API-compatible with :class:`HeapEventQueue` (push/cancel/pop/
+    peek_time/len/bool) and bit-for-bit identical in pop order, cancel
+    semantics, and accounting — the hypothesis suite in
+    ``tests/test_event_queue_property.py`` holds the two to the same
+    op-for-op behaviour.
+    """
+
+    __slots__ = (
+        "_width",
+        "_inv_width",
+        "_buckets",
+        "_epochs",
+        "_stack",
+        "_stack_epoch",
+        "_pending",
+        "_seq",
+        "_drained_buckets",
+        "_drained_events",
+    )
+
+    def __init__(self, width: float = 1.0) -> None:
+        if not (width > 0 and math.isfinite(width)):
+            raise ValueError(f"bucket width must be positive and finite, got {width}")
+        self._width = float(width)
+        self._inv_width = 1.0 / self._width
+        #: epoch -> unsorted list of ``[time, seq, action]`` entries not
+        #: yet draining.  Entries are *lists* on purpose: the entry is
+        #: its own handle, and cancel/consume mark ``entry[2] = None``
+        #: in place — no live/cancelled side tables, no per-event set
+        #: traffic anywhere on the hot path.
+        self._buckets: dict[int, list[list]] = {}
+        #: Min-heap of occupied epochs (lazy duplicates allowed; an
+        #: epoch with no bucket is stale and skipped on pop).
+        self._epochs: list[int] = []
+        #: The bucket currently draining, sorted descending so that
+        #: ``list.pop()`` yields the earliest remaining event.
+        self._stack: list[list] = []
+        self._stack_epoch: int | None = None
+        #: Min-heap of events pushed into the *draining* epoch after its
+        #: one-time sort.  Kept separate so a same-epoch push is one
+        #: heap op on a small heap, never a re-sort of the whole stack;
+        #: ``pop`` takes the smaller of ``stack[-1]`` and ``pending[0]``.
+        self._pending: list[list] = []
+        self._seq = 0
+        self._drained_buckets = 0
+        self._drained_events = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def push(self, time: float, action: Callable[[], Any]) -> list:
+        """Schedule ``action`` at ``time``; returns a cancellable handle.
+
+        The handle is opaque — pass it to :meth:`cancel` and nothing
+        else.  (It is the queue's own entry, so it stays O(1) to cancel
+        without any handle table.)
+        """
+        time = float(time)
+        # ``not (time >= 0)`` is one comparison that rejects both
+        # negatives and NaN (NaN compares False against everything);
+        # infinities still need the explicit finiteness check.
+        if not (time >= 0.0) or time == _INF:
+            raise ValueError(f"event time must be finite and non-negative, got {time}")
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [time, seq, action]
+        scaled = time * self._inv_width
+        epoch = int(scaled) if scaled < _EPOCH_CAP else int(_EPOCH_CAP)
+        stack_epoch = self._stack_epoch
+        if stack_epoch is not None:
+            if epoch == stack_epoch:
+                heapq.heappush(self._pending, entry)
+                return entry
+            if epoch < stack_epoch:
+                # A raw past-time push behind the draining epoch (the
+                # Simulator never does this).  Demote the stack so the
+                # ordinary bucket path below handles it; paying the
+                # check here keeps it off the per-pop hot path.
+                self._demote_stack()
+        bucket = self._buckets.get(epoch)
+        if bucket is None:
+            self._buckets[epoch] = [entry]
+            heapq.heappush(self._epochs, epoch)
+        else:
+            bucket.append(entry)
+        return entry
+
+    def cancel(self, handle) -> None:
+        """Cancel a scheduled event (lazy removal on pop).
+
+        Same contract as :meth:`HeapEventQueue.cancel`: fired, already
+        cancelled, or unknown/foreign handles are no-ops and accounting
+        stays exact.  A fired entry has already left every queue
+        structure, so nulling its action slot here has no effect — the
+        no-op contract holds without any fired-handle bookkeeping.
+        """
+        if type(handle) is list and len(handle) == 3 and handle[2] is not None:
+            handle[2] = None
+
+    # -- draining ----------------------------------------------------------
+
+    def pop_event(self) -> tuple[float, int, Callable[[], Any]] | None:
+        """Earliest live (time, seq, action) triple, or None when empty.
+
+        This is the portable dispatch entry point; :meth:`pop` wraps it
+        with the historical two-field shape.  (The default Simulator
+        drain loop inlines this logic instead of calling it.)
+        """
+        while True:
+            stack = self._stack
+            pending = self._pending
+            if stack:
+                # Merge head: smaller of the sorted stack's tail and the
+                # same-epoch pending heap's root.  seq uniqueness means
+                # entry comparison never reaches the action slot.
+                if pending and pending[0] < stack[-1]:
+                    item = heapq.heappop(pending)
+                else:
+                    item = stack.pop()
+            elif pending:
+                item = heapq.heappop(pending)
+            elif self._load_next_bucket():
+                continue
+            else:
+                return None
+            action = item[2]
+            if action is None:  # cancelled: drop lazily
+                continue
+            # No consumed-marking needed: the entry just left the last
+            # structure holding it, so cancel-after-fire mutates a
+            # free-floating list — naturally a no-op.
+            return item[0], item[1], action
+
+    def pop(self) -> tuple[float, Callable[[], Any]] | None:
+        """Earliest live event, or None when empty."""
+        item = self.pop_event()
+        if item is None:
+            return None
+        return item[0], item[2]
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event without removing it."""
+        while True:
+            stack = self._stack
+            pending = self._pending
+            if stack:
+                if pending and pending[0] < stack[-1]:
+                    item = pending[0]
+                    if item[2] is None:
+                        heapq.heappop(pending)
+                        continue
+                    return item[0]
+                item = stack[-1]
+                if item[2] is None:
+                    stack.pop()
+                    continue
+                return item[0]
+            if pending:
+                item = pending[0]
+                if item[2] is None:
+                    heapq.heappop(pending)
+                    continue
+                return item[0]
+            if not self._load_next_bucket():
+                return None
+
+    def __len__(self) -> int:
+        # O(pending events); only error paths and tests count the queue,
+        # so the hot path carries no live-count bookkeeping at all.
+        n = sum(1 for item in self._stack if item[2] is not None)
+        n += sum(1 for item in self._pending if item[2] is not None)
+        for bucket in self._buckets.values():
+            n += sum(1 for item in bucket if item[2] is not None)
+        return n
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+    # -- internals ---------------------------------------------------------
+
+    def _demote_stack(self) -> None:
+        """Return the draining stack to the bucket table (rare path).
+
+        Mutates the stack/pending lists *in place* so the Simulator's
+        drain loop may keep direct references across this call.
+        """
+        epoch = self._stack_epoch
+        items = self._stack + self._pending
+        self._stack.clear()
+        self._pending.clear()
+        self._stack_epoch = None
+        if items:
+            bucket = self._buckets.get(epoch)
+            if bucket is None:
+                self._buckets[epoch] = items
+                heapq.heappush(self._epochs, epoch)
+            else:
+                bucket.extend(items)
+
+    def _load_next_bucket(self) -> bool:
+        """Promote the earliest occupied bucket to the draining stack.
+
+        The stack and pending *list objects* are permanent (created in
+        ``__init__`` and only ever mutated in place), so the Simulator's
+        drain loop can hold direct references to them across bucket
+        loads, resizes, and any reentrant peek from an event action.
+        """
+        epochs = self._epochs
+        buckets = self._buckets
+        while epochs:
+            epoch = epochs[0]
+            bucket = buckets.get(epoch)
+            if bucket is None:
+                heapq.heappop(epochs)  # stale duplicate
+                continue
+            heapq.heappop(epochs)
+            del buckets[epoch]
+            bucket.sort(reverse=True)
+            self._stack.extend(bucket)
+            self._stack_epoch = epoch
+            self._drained_buckets += 1
+            self._drained_events += len(bucket)
+            if self._drained_buckets >= _RESIZE_CHECK:
+                self._maybe_resize()
+            return True
+        self._stack_epoch = None
+        return False
+
+    def _maybe_resize(self) -> None:
+        """Adapt the bucket width to the observed occupancy skew."""
+        avg = self._drained_events / self._drained_buckets
+        self._drained_buckets = 0
+        self._drained_events = 0
+        if avg > _MAX_AVG and self._width > _MIN_WIDTH:
+            self._set_width(self._width * 0.5)
+        elif avg < _MIN_AVG and self._width < _MAX_WIDTH:
+            # Only widen over a non-trivial backlog (raw entry count —
+            # counting cancelled entries too is fine for a heuristic).
+            backlog = len(self._stack) + len(self._pending)
+            for bucket in self._buckets.values():
+                backlog += len(bucket)
+            if backlog > 64:
+                self._set_width(self._width * 2.0)
+
+    def _set_width(self, width: float) -> None:
+        """Re-bucket every pending event under a new width.
+
+        Safe at any point: events carry their absolute ``(time, seq)``
+        key, and ``floor`` is monotone under any positive width, so the
+        drain order is unchanged — only the bucket shapes move.
+        Cancelled entries are compacted away while rebuilding.
+        """
+        items = [item for item in self._stack if item[2] is not None]
+        items.extend(item for item in self._pending if item[2] is not None)
+        for bucket in self._buckets.values():
+            items.extend(item for item in bucket if item[2] is not None)
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets = {}
+        self._epochs = []
+        # In place: the stack/pending list objects are permanent (see
+        # ``_load_next_bucket``).
+        self._stack.clear()
+        self._pending.clear()
+        self._stack_epoch = None
+        inv = self._inv_width
+        buckets = self._buckets
+        for item in items:
+            scaled = item[0] * inv
+            epoch = int(scaled) if scaled < _EPOCH_CAP else int(_EPOCH_CAP)
+            bucket = buckets.get(epoch)
+            if bucket is None:
+                buckets[epoch] = [item]
+                heapq.heappush(self._epochs, epoch)
+            else:
+                bucket.append(item)
+
+
+#: The default queue every :class:`~repro.simkit.simulator.Simulator`,
+#: :class:`~repro.simkit.network.MeshNetwork`, and serve
+#: :class:`~repro.serve.clock.VirtualClock` instantiates.
+EventQueue = CalendarEventQueue

@@ -4,6 +4,16 @@ Faulty nodes are dead: they neither send nor receive (fail-stop model).
 Messages addressed to a faulty or off-mesh node are dropped and counted
 — protocols must use :meth:`NodeProcess.neighbor_faulty` to avoid that,
 exactly as real routers consult link liveness.
+
+Hot-path layout: the admission path (``transmit``) runs once per
+message, so everything it consults is precomputed at construction —
+the set of valid directed links (one set lookup replaces the
+``contains`` + ``manhattan`` recomputation per send), a per-node
+neighbor table, and a plain-set mirror of the fault mask (a Python set
+membership test instead of a numpy fancy-index per liveness check).
+The numpy ``fault_mask`` stays the source of truth for bulk array
+consumers; mutate it only through :meth:`inject_fault` /
+:meth:`repair`, which keep the mirror in sync.
 """
 
 from __future__ import annotations
@@ -12,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.mesh.coords import Coord, manhattan
+from repro.mesh.coords import Coord
 from repro.mesh.topology import Mesh
 from repro.simkit.message import Message
 from repro.simkit.node import NodeProcess
@@ -75,6 +85,22 @@ class MeshNetwork:
         self.link_delay = link_delay
         self.link_capacity = link_capacity
         self._links: dict[tuple[Coord, Coord], _LinkState] = {}
+        #: Per-node neighbor lists, computed once (NodeProcess.neighbors
+        #: serves from here instead of re-deriving coordinate tuples).
+        self._neighbors: dict[Coord, list[Coord]] = {
+            coord: mesh.neighbors(coord) for coord in mesh.nodes()
+        }
+        #: Every valid directed link of the mesh — transmit validation
+        #: is one frozenset lookup (both endpoints in-mesh, adjacent).
+        self._valid_links: frozenset[tuple[Coord, Coord]] = frozenset(
+            (src, dst)
+            for src, neighbors in self._neighbors.items()
+            for dst in neighbors
+        )
+        #: Plain-set mirror of ``fault_mask`` for O(1) liveness checks.
+        self._faulty: set[Coord] = {
+            tuple(int(c) for c in cell) for cell in np.argwhere(self.fault_mask)
+        }
         factory = node_factory or NodeProcess
         self.nodes: dict[Coord, NodeProcess] = {
             coord: factory(self, coord) for coord in mesh.nodes()
@@ -97,11 +123,17 @@ class MeshNetwork:
     # -- fault handling ------------------------------------------------------
 
     def is_faulty(self, coord: Coord) -> bool:
-        return bool(self.fault_mask[tuple(coord)])
+        return tuple(coord) in self._faulty
+
+    def neighbors_of(self, coord: Coord) -> list[Coord]:
+        """The precomputed neighbor list of ``coord`` (do not mutate)."""
+        return self._neighbors[coord]
 
     def inject_fault(self, coord: Coord) -> None:
         """Kill a node mid-simulation (dynamic-fault experiments)."""
-        self.fault_mask[tuple(coord)] = True
+        coord = tuple(coord)
+        self.fault_mask[coord] = True
+        self._faulty.add(coord)
 
     def repair(self, coord: Coord) -> None:
         """Bring a dead node back mid-simulation (churn experiments).
@@ -111,17 +143,19 @@ class MeshNetwork:
         re-stabilization (see ``DistributedMCCPipeline.apply_event``)
         clears its store and reruns its start hooks.
         """
-        self.fault_mask[tuple(coord)] = False
+        coord = tuple(coord)
+        self.fault_mask[coord] = False
+        self._faulty.discard(coord)
 
     # -- message plumbing ------------------------------------------------------
 
     def transmit(self, msg: Message) -> None:
         """Queue a message for delivery after one link delay."""
-        if not self.mesh.contains(msg.dst) or manhattan(msg.src, msg.dst) != 1:
+        if (msg.src, msg.dst) not in self._valid_links:
             raise ValueError(
                 f"{msg.kind}: {msg.src} -> {msg.dst} is not a mesh link"
             )
-        if self.is_faulty(msg.src):
+        if msg.src in self._faulty:
             # A node that died mid-action sends nothing (fail-stop).
             self.stats.bump("dropped[src-faulty]")
             return
@@ -137,9 +171,13 @@ class MeshNetwork:
         if state is None:
             state = self._links[link] = _LinkState(self.link_capacity)
         now = self.sim.now
-        slot = min(range(len(state.free)), key=state.free.__getitem__)
-        start = state.free[slot] if state.free[slot] > now else now
-        state.free[slot] = start + self.link_delay
+        free = state.free
+        if len(free) == 1:
+            slot = 0
+        else:
+            slot = min(range(len(free)), key=free.__getitem__)
+        start = free[slot] if free[slot] > now else now
+        free[slot] = start + self.link_delay
         wait = start - now
         if wait > 0:
             self.stats.bump("link_wait_total", wait)
@@ -150,7 +188,7 @@ class MeshNetwork:
     def _deliver(self, msg: Message, link: tuple[Coord, Coord] | None = None) -> None:
         if link is not None:
             self._links[link].depth -= 1
-        if self.is_faulty(msg.dst):
+        if msg.dst in self._faulty:
             self.stats.bump("dropped[dst-faulty]")
             if msg.kind == FRAME_KIND:
                 self.stats.bump("frames[lost]")
@@ -187,31 +225,34 @@ class MeshNetwork:
         if len(path) == 1:
             self.stats.on_frame(0.0, query=query)
             return
+        # The hop index is derived from ``hops`` (0 at injection, +1 per
+        # forward), so the payload is never written after this point —
+        # every hop shares this one dict copy-on-write with zero copies.
         msg = Message(
             kind=FRAME_KIND,
             src=path[0],
             dst=path[1],
-            payload={"query": query, "path": path, "i": 1, "t0": t0},
+            payload={"query": query, "path": path, "t0": t0},
         )
         self.transmit(msg)
 
     def _frame_hop(self, msg: Message) -> None:
         payload = msg.payload
         path = payload["path"]
-        i = payload["i"]
+        # Position in the path: the injected message arrives at path[1]
+        # with hops == 0, and forwarded() bumps hops once per hop.
+        i = msg.hops + 1
         if i == len(path) - 1:
             self.stats.on_frame(self.sim.now - payload["t0"], query=payload.get("query"))
             return
-        nxt = msg.forwarded(path[i + 1])
-        nxt.payload["i"] = i + 1
-        self.transmit(nxt)
+        self.transmit(msg.forwarded(path[i + 1]))
 
     # -- execution --------------------------------------------------------------
 
     def start(self) -> None:
         """Invoke every live node's ``on_start`` at t=0."""
         for coord, node in self.nodes.items():
-            if not self.is_faulty(coord):
+            if coord not in self._faulty:
                 self.sim.schedule(0.0, node.on_start)
 
     def run(self, **kwargs) -> int:
@@ -231,5 +272,5 @@ class MeshNetwork:
         return {
             coord: node.store.get(key, default)
             for coord, node in self.nodes.items()
-            if not self.is_faulty(coord)
+            if coord not in self._faulty
         }

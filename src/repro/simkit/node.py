@@ -45,8 +45,12 @@ class NodeProcess:
         return not self.network.is_faulty(self.coord)
 
     def neighbors(self) -> list[Coord]:
-        """All in-mesh neighbor coordinates (alive or not)."""
-        return self.network.mesh.neighbors(self.coord)
+        """All in-mesh neighbor coordinates (alive or not).
+
+        Served from the network's precomputed table — treat the list as
+        read-only.
+        """
+        return self.network.neighbors_of(self.coord)
 
     def neighbor(self, direction: Direction) -> Coord | None:
         return self.network.mesh.neighbor(self.coord, direction)
@@ -63,7 +67,7 @@ class NodeProcess:
 
     def send(self, dst: Coord, kind: str, payload: dict | None = None, ttl: int | None = None) -> None:
         """Send one message to a neighbor (asserts mesh adjacency)."""
-        msg = Message(kind=kind, src=self.coord, dst=dst, payload=payload or {}, ttl=ttl)
+        msg = Message(kind=kind, src=self.coord, dst=dst, payload=payload, ttl=ttl)
         self.network.transmit(msg)
 
     def forward(self, msg: Message, dst: Coord) -> None:
