@@ -31,6 +31,7 @@ before virtual time moves again.
 from __future__ import annotations
 
 import asyncio
+import math
 from typing import Protocol
 
 from repro.obs.clockio import wall_now
@@ -81,13 +82,30 @@ class VirtualClock:
         await self.sleep_until(self._now + float(delay))
 
     async def sleep_until(self, when: float) -> None:
+        when = float(when)
         if when <= self._now:
             # Already due: still yield once so a zero-delay sleep is a
             # cooperative scheduling point, exactly like asyncio.sleep(0).
             await asyncio.sleep(0)
             return
         fut = asyncio.get_running_loop().create_future()
-        self._timers.push(float(when), fut)
+        if when == math.inf:
+            # "Sleep forever until cancelled": the calendar queue
+            # rejects non-finite deadlines, so register the future
+            # without queueing a timer — only cancellation ends the
+            # wait, and :meth:`advance` correctly reports no live
+            # deadline for it.
+            self._futs.add(fut)
+            self.activity += 1
+            try:
+                await fut
+            finally:
+                # Timer futures are normally discarded by ``advance``
+                # when they fire; this one never fires, so clean up on
+                # cancellation here.
+                self._futs.discard(fut)
+            return
+        self._timers.push(when, fut)  # rejects NaN before registration
         self._futs.add(fut)
         self.activity += 1
         await fut

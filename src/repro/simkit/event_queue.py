@@ -161,11 +161,16 @@ class CalendarEventQueue:
             raise ValueError(f"bucket width must be positive and finite, got {width}")
         self._width = float(width)
         self._inv_width = 1.0 / self._width
-        #: epoch -> unsorted list of ``[time, seq, action]`` entries not
-        #: yet draining.  Entries are *lists* on purpose: the entry is
-        #: its own handle, and cancel/consume mark ``entry[2] = None``
-        #: in place — no live/cancelled side tables, no per-event set
-        #: traffic anywhere on the hot path.
+        #: epoch -> unsorted list of ``[time, seq, action, queue]``
+        #: entries not yet draining.  Entries are *lists* on purpose:
+        #: the entry is its own handle, and cancel/consume mark
+        #: ``entry[2] = None`` in place — no live/cancelled side
+        #: tables, no per-event set traffic anywhere on the hot path.
+        #: The trailing queue reference is a provenance tag so
+        #: :meth:`cancel` never mutates another queue's entry (or a
+        #: caller list that happens to look like one); comparisons
+        #: never reach it because ``seq`` is unique within a queue and
+        #: entries from different queues never share a heap.
         self._buckets: dict[int, list[list]] = {}
         #: Min-heap of occupied epochs (lazy duplicates allowed; an
         #: epoch with no bucket is stale and skipped on pop).
@@ -200,7 +205,7 @@ class CalendarEventQueue:
             raise ValueError(f"event time must be finite and non-negative, got {time}")
         seq = self._seq
         self._seq = seq + 1
-        entry = [time, seq, action]
+        entry = [time, seq, action, self]
         scaled = time * self._inv_width
         epoch = int(scaled) if scaled < _EPOCH_CAP else int(_EPOCH_CAP)
         stack_epoch = self._stack_epoch
@@ -209,10 +214,14 @@ class CalendarEventQueue:
                 heapq.heappush(self._pending, entry)
                 return entry
             if epoch < stack_epoch:
-                # A raw past-time push behind the draining epoch (the
-                # Simulator never does this).  Demote the stack so the
-                # ordinary bucket path below handles it; paying the
-                # check here keeps it off the per-pop hot path.
+                # A push behind the draining epoch.  Reachable two
+                # ways: a raw past-time push, or — subtler — a peek
+                # mid-drain promoted a *future* bucket while the clock
+                # still sits in an earlier epoch, so even a future-time
+                # push can land behind the stack.  Demote the stack so
+                # the ordinary bucket path below reinstates global
+                # order; paying the check here keeps it off the per-pop
+                # hot path.
                 self._demote_stack()
         bucket = self._buckets.get(epoch)
         if bucket is None:
@@ -230,8 +239,16 @@ class CalendarEventQueue:
         stays exact.  A fired entry has already left every queue
         structure, so nulling its action slot here has no effect — the
         no-op contract holds without any fired-handle bookkeeping.
+        The provenance tag in slot 3 makes "foreign" precise: a handle
+        from a *different* queue instance (or any caller list that
+        merely looks like an entry) is left untouched.
         """
-        if type(handle) is list and len(handle) == 3 and handle[2] is not None:
+        if (
+            type(handle) is list
+            and len(handle) == 4
+            and handle[3] is self
+            and handle[2] is not None
+        ):
             handle[2] = None
 
     # -- draining ----------------------------------------------------------

@@ -130,10 +130,17 @@ class Payload:
         d.update(*args, **kwargs)
 
     def clear(self) -> None:
-        # No need to copy a backing we are about to empty — just stop
-        # sharing it.
-        self._d = {}
-        self._owned = True
+        if self._owned:
+            # Owned views write through to the caller's dict — clear in
+            # place so a caller holding the dict it passed in still sees
+            # this (and every later) write, exactly like the old
+            # plain-dict payload.
+            self._d.clear()
+        else:
+            # Unowned: no need to copy a shared backing we are about to
+            # empty — just stop sharing it.
+            self._d = {}
+            self._owned = True
 
 
 class Message:

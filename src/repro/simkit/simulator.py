@@ -65,15 +65,24 @@ class Simulator:
         time = self.now + delay
         seq = queue._seq
         queue._seq = seq + 1
-        entry = [time, seq, action]
+        entry = [time, seq, action, queue]
         scaled = time * queue._inv_width
         epoch = int(scaled) if scaled < _EPOCH_CAP else _EPOCH_CAP_INT
         stack_epoch = queue._stack_epoch
-        if stack_epoch is not None and epoch == stack_epoch:
-            _heappush(queue._pending, entry)
-            return entry
-        # ``epoch < stack_epoch`` is impossible here: ``time >= now``
-        # and the draining epoch never lies ahead of the clock.
+        if stack_epoch is not None:
+            if epoch == stack_epoch:
+                _heappush(queue._pending, entry)
+                return entry
+            if epoch < stack_epoch:
+                # Reachable even though ``time >= now``: a reentrant
+                # peek from an event action (``sim.idle``, ``bool(sim.
+                # queue)``) can promote a *future* bucket to the drain
+                # stack while ``now`` still sits in the old epoch, so a
+                # short-delay schedule lands behind the draining epoch.
+                # Demote the stack so the bucket path below reinstates
+                # global (time, seq) order — exactly what
+                # CalendarEventQueue.push does.
+                queue._demote_stack()
         buckets = queue._buckets
         bucket = buckets.get(epoch)
         if bucket is None:

@@ -185,6 +185,21 @@ class TestCancelSemantics:
             cal.cancel(junk)
         assert len(cal) == len(heap) == 1
 
+    def test_handle_from_another_queue_instance_is_noop(self):
+        # The provenance tag makes cross-instance cancels true no-ops:
+        # queue B must not null out an entry owned by queue A, and an
+        # entry-shaped caller list must never be mutated.
+        a = CalendarEventQueue()
+        b = CalendarEventQueue()
+        ha = a.push(1.0, 0)
+        b.push(1.0, 0)
+        b.cancel(ha)
+        assert len(a) == 1
+        assert a.pop_event() == (1.0, 0, 0)
+        lookalike = [1.0, 0, "action", b]
+        a.cancel(lookalike)
+        assert lookalike[2] == "action"
+
 
 class TestValidation:
     @pytest.mark.parametrize("bad", [float("nan"), -1.0, -1e-12, math.inf])

@@ -89,6 +89,25 @@ class TestVirtualClock:
 
         asyncio.run(scenario())
 
+    def test_sleep_until_inf_blocks_until_cancelled(self):
+        # "Sleep forever until cancelled" must block, not raise: the
+        # non-finite deadline registers no timer, so advance() reports
+        # no live deadline while the sleeper stays pending.
+        clock = VirtualClock()
+
+        async def scenario():
+            task = asyncio.get_running_loop().create_task(
+                clock.sleep_until(float("inf"))
+            )
+            assert await clock.advance() is False
+            assert not task.done()
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert clock.pending_timers() == 0
+
+        asyncio.run(scenario())
+
 
 class TestBatchingDeterminism:
     def test_one_window_coalesces_to_one_batch(self):

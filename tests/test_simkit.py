@@ -111,6 +111,25 @@ class TestSimulator:
         with pytest.raises(ValueError):
             Simulator().schedule(-0.5, lambda: None)
 
+    def test_reentrant_peek_keeps_short_delay_schedules_in_order(self):
+        # Regression: an action that peeks the queue (``sim.idle``)
+        # after its own epoch drained promotes a *future* bucket to the
+        # drain stack; a short-delay schedule issued right after must
+        # still fire in (time, seq) order — not behind the promoted
+        # epoch at a wrong virtual time.
+        sim = Simulator()
+        fired = []
+
+        def first():
+            assert not sim.idle  # reentrant peek loads second's bucket
+            sim.schedule(0.1, lambda: fired.append(("between", sim.now)))
+            fired.append(("first", sim.now))
+
+        sim.schedule(0.5, first)
+        sim.schedule(5.5, lambda: fired.append(("second", sim.now)))
+        sim.run_to_quiescence()
+        assert fired == [("first", 0.5), ("between", 0.5 + 0.1), ("second", 5.5)]
+
 
 class _Echo(NodeProcess):
     """Test node: replies PONG to PING once."""
@@ -315,6 +334,24 @@ class TestForwardedPayloadIsolation:
         assert hop.hops == 4 and hop.ttl == 9
         assert hop.src == (0, 1) and hop.dst == (1, 1)
         assert hop.payload == msg.payload and hop.payload is not msg.payload
+
+    def test_clear_writes_through_on_owned_view(self):
+        # An owned view behaves exactly like the old plain-dict payload:
+        # a caller that kept a reference to the dict it passed in sees
+        # the clear and every later write.
+        d = {"a": 1}
+        msg = Message("ROUTE", (0, 0), (0, 1), payload=d)
+        msg.payload.clear()
+        assert d == {}
+        msg.payload["b"] = 2
+        assert d == {"b": 2}
+
+    def test_clear_on_shared_view_stays_isolated(self):
+        msg = Message("ROUTE", (0, 0), (0, 1), payload={"a": 1})
+        hop = msg.forwarded((0, 2))
+        hop.payload.clear()
+        assert msg.payload == {"a": 1}
+        assert hop.payload == {}
 
 
 class TestContendedLinks:
